@@ -1,0 +1,109 @@
+"""Ablation — the (α, β, γ, θ) cache-ratio tradeoff (Section VII-A).
+
+The paper frames the ratios as "a trade-off between aggregation
+granularity and time coverage: higher α would cache more daily details
+but less covered period, while higher γ and θ would favor longer
+period queries."  This bench pits four allocations against two
+workloads:
+
+* *recent-fine*: daily time series over the last 1-3 months (wants α);
+* *long-coarse*: multi-year aggregate windows (wants γ/θ).
+
+Expected: the daily-heavy split wins recent-fine, the coarse-heavy
+split wins long-coarse, and the paper's mixed default is competitive
+on both — which is why RASED deploys it.
+
+Run: ``pytest benchmarks/bench_ablation_cache_ratios.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.core.cache import CacheRatios
+from repro.core.query import AnalysisQuery
+
+from common import (
+    COVERAGE_END,
+    build_long_index,
+    make_rased_executor,
+    make_workload,
+    print_table,
+    run_queries,
+)
+
+SLOTS = 256
+RATIO_GRID = {
+    "daily-heavy (1,0,0,0)": CacheRatios(1.0, 0.0, 0.0, 0.0),
+    "weekly-heavy (0,1,0,0)": CacheRatios(0.0, 1.0, 0.0, 0.0),
+    "coarse-heavy (0,0,.5,.5)": CacheRatios(0.0, 0.0, 0.5, 0.5),
+    "paper (.4,.35,.2,.05)": CacheRatios(0.4, 0.35, 0.2, 0.05),
+}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, _, _ = build_long_index()
+    workload = make_workload(index)
+    recent_fine = workload.daily_series(span_days=60, count=40)
+    long_coarse = [
+        AnalysisQuery(
+            start=date(COVERAGE_END.year - years + 1, 1, 1),
+            end=COVERAGE_END,
+            countries=("germany",),
+            group_by=("element_type",),
+        )
+        for years in (2, 4, 8, 16)
+        for _ in range(10)
+    ]
+    return index, {"recent-fine": recent_fine, "long-coarse": long_coarse}
+
+
+def bench_ablation_cache_ratios(benchmark, setup):
+    index, workloads = setup
+
+    def sweep():
+        results = {}
+        for label, ratios in RATIO_GRID.items():
+            executor = make_rased_executor(index, cache_slots=SLOTS, ratios=ratios)
+            for workload_name, queries in workloads.items():
+                results[(label, workload_name)] = run_queries(executor, queries)
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    header = ["allocation", "recent-fine ms", "long-coarse ms"]
+    rows = [
+        [
+            label,
+            f"{results[(label, 'recent-fine')]['avg_sim_ms']:.2f}",
+            f"{results[(label, 'long-coarse')]['avg_sim_ms']:.3f}",
+        ]
+        for label in RATIO_GRID
+    ]
+    print_table(
+        f"Sec. VII-A ablation: cache ratios at {SLOTS} slots", header, rows
+    )
+
+    daily = "daily-heavy (1,0,0,0)"
+    coarse = "coarse-heavy (0,0,.5,.5)"
+    paper = "paper (.4,.35,.2,.05)"
+    # Each extreme wins its favored workload...
+    assert (
+        results[(daily, "recent-fine")]["avg_sim_ms"]
+        < results[(coarse, "recent-fine")]["avg_sim_ms"]
+    )
+    assert (
+        results[(coarse, "long-coarse")]["avg_sim_ms"]
+        < results[(daily, "long-coarse")]["avg_sim_ms"]
+    )
+    # ...while the paper's mixed default is never the worst choice.
+    for workload_name in workloads:
+        paper_ms = results[(paper, workload_name)]["avg_sim_ms"]
+        worst = max(
+            results[(label, workload_name)]["avg_sim_ms"] for label in RATIO_GRID
+        )
+        assert paper_ms < worst
+    benchmark.extra_info["section"] = "VII-A"

@@ -1,0 +1,99 @@
+"""Figure 7 — Setting RASED cache size.
+
+Paper setup: query response time vs cache size from 128 MB to 4 GB
+(32 to 1,000 cube slots at ~4 MB per cube), for query loads with
+temporal windows of 1, 3, 6, and 12 months; each point averages 100
+queries.  We use recent daily time-series loads — a per-day series
+needs every daily cube in its window (rollups cannot answer it), which
+is the load whose footprint scales with the window.  Expected shape:
+response time falls as the cache grows and *saturates* once the
+cache's daily allotment covers the window — the paper observes
+saturation around 512/1024/2048 MB for the 3/6/12-month loads and
+picks 2 GB.
+
+Run: ``pytest benchmarks/bench_fig7_cache_size.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    build_long_index,
+    make_rased_executor,
+    make_workload,
+    print_table,
+    run_queries,
+)
+
+#: Cache slots standing in for 128 MB .. 4 GB at 4 MB per cube.
+CACHE_SLOTS = (32, 64, 128, 256, 512, 1000)
+WINDOW_MONTHS = (1, 3, 6, 12)
+QUERIES_PER_POINT = 100
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, disk, _ = build_long_index()
+    workload = make_workload(index)
+    queries = {
+        months: workload.daily_series(
+            span_days=months * 30, count=QUERIES_PER_POINT
+        )
+        for months in WINDOW_MONTHS
+    }
+    return index, disk, queries
+
+
+def _sweep(index, queries):
+    results: dict[tuple[int, int], dict] = {}
+    for slots in CACHE_SLOTS:
+        executor = make_rased_executor(index, cache_slots=slots)
+        for months, batch in queries.items():
+            results[(slots, months)] = run_queries(executor, batch)
+    return results
+
+
+def bench_fig7_cache_size(benchmark, setup):
+    index, disk, queries = setup
+    results = benchmark.pedantic(
+        lambda: _sweep(index, queries), iterations=1, rounds=1
+    )
+
+    header = ["cache slots", "~cache MB"] + [
+        f"{m}mo avg ms" for m in WINDOW_MONTHS
+    ]
+    rows = []
+    for slots in CACHE_SLOTS:
+        row = [str(slots), str(slots * 4)]
+        for months in WINDOW_MONTHS:
+            row.append(f"{results[(slots, months)]['avg_sim_ms']:.2f}")
+        rows.append(row)
+    print_table("Fig. 7: response time vs cache size", header, rows)
+
+    # Shape assertions: the largest cache beats the smallest by a wide
+    # margin for every window.
+    for months in WINDOW_MONTHS:
+        small = results[(CACHE_SLOTS[0], months)]["avg_sim_ms"]
+        large = results[(CACHE_SLOTS[-1], months)]["avg_sim_ms"]
+        assert large < small / 3, (
+            f"{months}-month load: {large:.2f}ms at {CACHE_SLOTS[-1]} slots "
+            f"vs {small:.2f}ms at {CACHE_SLOTS[0]}"
+        )
+    # Longer windows need more cache before saturating: at the smallest
+    # cache, the 12-month load must be slower than the 1-month load.
+    assert (
+        results[(CACHE_SLOTS[0], 12)]["avg_sim_ms"]
+        > results[(CACHE_SLOTS[0], 1)]["avg_sim_ms"]
+    )
+    # Saturation: the 1-month load stops improving past ~128 slots
+    # (its daily footprint is resident), while the 12-month load is
+    # still improving from 512 to 1000 slots.
+    assert (
+        results[(128, 1)]["avg_sim_ms"] < results[(32, 1)]["avg_sim_ms"] / 5
+    )
+    assert (
+        results[(1000, 12)]["avg_sim_ms"]
+        < results[(512, 12)]["avg_sim_ms"] * 0.7
+    )
+    benchmark.extra_info["fig"] = "7"

@@ -1,0 +1,98 @@
+"""Figure 9 — Effect of each component in RASED.
+
+Paper setup: three variants over query windows of 1 to 16 years —
+
+* RASED-F: one-level flat index, no caching, no level optimization;
+* RASED-O: hierarchical index + level optimizer, no caching;
+* RASED:  the full system (+ the 2 GB-equivalent recency cache).
+
+Expected shape: >2 orders of magnitude gain F→O (the hierarchy turns
+thousands of daily-cube reads into a handful of yearly-cube reads) and
+about another order O→full (recent cubes come from memory), i.e. ~3
+orders end to end.
+
+Run: ``pytest benchmarks/bench_fig9_components.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.core.query import AnalysisQuery
+
+from common import (
+    COVERAGE_END,
+    build_long_index,
+    make_flat_executor,
+    make_optimized_executor,
+    make_rased_executor,
+    print_table,
+    run_queries,
+)
+
+WINDOW_YEARS = (1, 2, 4, 8, 16)
+QUERIES_PER_POINT = 20
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, disk, _ = build_long_index()
+    # The paper's "query window of k years": the most recent k calendar
+    # years, single-cell aggregations (one cube cell per cube touched).
+    queries = {}
+    for years in WINDOW_YEARS:
+        start = date(COVERAGE_END.year - years + 1, 1, 1)
+        queries[years] = [
+            AnalysisQuery(
+                start=start,
+                end=COVERAGE_END,
+                element_types=("way",),
+                countries=("germany",),
+                road_types=("residential",),
+                update_types=("geometry",),
+            )
+            for _ in range(QUERIES_PER_POINT)
+        ]
+    return index, queries
+
+
+def bench_fig9_components(benchmark, setup):
+    index, queries = setup
+
+    def sweep():
+        flat = make_flat_executor(index)
+        optimized = make_optimized_executor(index)
+        full = make_rased_executor(index, cache_slots=500)
+        results = {}
+        for years, batch in queries.items():
+            results[("RASED-F", years)] = run_queries(flat, batch)
+            results[("RASED-O", years)] = run_queries(optimized, batch)
+            results[("RASED", years)] = run_queries(full, batch)
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    header = ["window (years)", "RASED-F ms", "RASED-O ms", "RASED ms", "F/O", "O/full"]
+    rows = []
+    for years in WINDOW_YEARS:
+        f = results[("RASED-F", years)]["avg_sim_ms"]
+        o = results[("RASED-O", years)]["avg_sim_ms"]
+        r = results[("RASED", years)]["avg_sim_ms"]
+        rows.append(
+            [str(years), f"{f:.2f}", f"{o:.2f}", f"{r:.3f}", f"{f/o:.0f}x", f"{o/r:.0f}x"]
+        )
+    print_table("Fig. 9: component contributions", header, rows)
+
+    # Shape assertions on the 16-year point (the paper's headline):
+    f16 = results[("RASED-F", 16)]["avg_sim_ms"]
+    o16 = results[("RASED-O", 16)]["avg_sim_ms"]
+    r16 = results[("RASED", 16)]["avg_sim_ms"]
+    assert f16 / o16 > 100, f"hierarchy gain only {f16/o16:.0f}x"
+    assert o16 / r16 > 5, f"cache gain only {o16/r16:.1f}x"
+    assert f16 / r16 > 1000, f"total gain only {f16/r16:.0f}x"
+    # Flat cost grows ~linearly with the window; RASED stays flat-ish.
+    assert results[("RASED-F", 16)]["avg_disk_reads"] == 5844
+    assert results[("RASED", 16)]["avg_disk_reads"] <= 1
+    benchmark.extra_info["fig"] = "9"

@@ -1,0 +1,70 @@
+"""The Fig. 9 system variants: RASED-F, RASED-O, and full RASED.
+
+The paper's component study (Section VIII-B) evaluates three variants:
+
+* **RASED-F** — a one-level flat index with neither caching nor level
+  optimization: every query reads all its daily cubes from disk;
+* **RASED-O** — the full hierarchy with level optimization but no
+  caching;
+* **RASED** — hierarchy + level optimization + the recency cache.
+
+These factory functions build identically-stocked
+:class:`~repro.core.executor.QueryExecutor` instances differing only
+in the studied components, so benchmark deltas isolate each
+component's contribution.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import CacheManager, CacheRatios, DEFAULT_RATIOS
+from repro.core.executor import QueryExecutor
+from repro.core.hierarchy import HierarchicalIndex
+from repro.core.optimizer import FlatPlanner, LevelOptimizer
+from repro.core.percentages import NetworkSizeRegistry
+
+__all__ = ["make_rased_f", "make_rased_o", "make_rased"]
+
+
+def make_rased_f(
+    index: HierarchicalIndex,
+    network_sizes: NetworkSizeRegistry | None = None,
+) -> QueryExecutor:
+    """RASED-F: flat daily-only plans, no cache."""
+    return QueryExecutor(
+        index,
+        cache=None,
+        optimizer=FlatPlanner(index),
+        network_sizes=network_sizes,
+    )
+
+
+def make_rased_o(
+    index: HierarchicalIndex,
+    network_sizes: NetworkSizeRegistry | None = None,
+) -> QueryExecutor:
+    """RASED-O: hierarchical plans via the level optimizer, no cache."""
+    return QueryExecutor(
+        index,
+        cache=None,
+        optimizer=LevelOptimizer(index),
+        network_sizes=network_sizes,
+    )
+
+
+def make_rased(
+    index: HierarchicalIndex,
+    cache_slots: int,
+    ratios: CacheRatios = DEFAULT_RATIOS,
+    network_sizes: NetworkSizeRegistry | None = None,
+    preload: bool = True,
+) -> QueryExecutor:
+    """Full RASED: hierarchy + level optimization + recency cache."""
+    cache = CacheManager(index, slots=cache_slots, ratios=ratios)
+    if preload:
+        cache.preload()
+    return QueryExecutor(
+        index,
+        cache=cache,
+        optimizer=LevelOptimizer(index),
+        network_sizes=network_sizes,
+    )

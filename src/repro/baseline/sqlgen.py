@@ -1,0 +1,72 @@
+"""Rendering analysis queries as the paper's SQL signature.
+
+RASED presents its query language in SQL form (paper, Section IV-A);
+this module renders an :class:`~repro.core.query.AnalysisQuery` back
+into that SQL text.  The dashboard shows the SQL next to each result
+(as the paper's examples do), and the tests use it to assert that our
+three worked examples produce exactly the paper's statements modulo
+formatting.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import AnalysisQuery, METRIC_PERCENTAGE
+
+__all__ = ["to_sql"]
+
+_ATTRIBUTE_SQL = {
+    "element_type": "U.ElementType",
+    "date": "U.Date",
+    "country": "U.Country",
+    "road_type": "U.RoadType",
+    "update_type": "U.UpdateType",
+}
+
+_UPDATE_TYPE_SQL = {
+    "create": "New",
+    "delete": "Delete",
+    "geometry": "Update",
+    "metadata": "MetadataUpdate",
+}
+
+
+def _sql_literal(value: str) -> str:
+    return value.replace("_", " ").title().replace(" ", "")
+
+
+def _value_list(attribute: str, values: tuple[str, ...]) -> str:
+    if attribute == "update_type":
+        rendered = [_UPDATE_TYPE_SQL.get(v, _sql_literal(v)) for v in values]
+    else:
+        rendered = [_sql_literal(v) for v in values]
+    return "[" + ", ".join(rendered) + "]"
+
+
+def to_sql(query: AnalysisQuery) -> str:
+    """Render a query in the paper's SQL style."""
+    select_attrs = [_ATTRIBUTE_SQL[a] for a in query.group_by]
+    metric = "Percentage(*)" if query.metric == METRIC_PERCENTAGE else "COUNT(*)"
+    select = ", ".join(select_attrs + [metric])
+
+    where: list[str] = [
+        f"U.Date BETWEEN {query.start.isoformat()} AND {query.end.isoformat()}"
+    ]
+    for attribute, values in (
+        ("element_type", query.element_types),
+        ("country", query.countries),
+        ("road_type", query.road_types),
+        ("update_type", query.update_types),
+    ):
+        if values is None:
+            continue
+        column = _ATTRIBUTE_SQL[attribute]
+        if len(values) == 1 and attribute != "update_type":
+            where.append(f"{column} = {_sql_literal(values[0])}")
+        else:
+            where.append(f"{column} IN {_value_list(attribute, values)}")
+
+    lines = [f"SELECT {select}", "FROM UpdateList U", f"WHERE {where[0]}"]
+    lines.extend(f"  AND {condition}" for condition in where[1:])
+    if query.group_by:
+        lines.append("GROUP BY " + ", ".join(select_attrs))
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Parsing the paper's SQL dialect into :class:`AnalysisQuery`.
+
+The paper specifies RASED's query language as SQL over the UpdateList
+relation (Section IV-A).  :mod:`repro.baseline.sqlgen` renders our
+query objects into that dialect; this module is the inverse, so the
+CLI and the HTTP API can accept queries written exactly as the paper
+writes them:
+
+.. code-block:: sql
+
+    SELECT U.Country, U.ElementType, COUNT(*)
+    FROM UpdateList U
+    WHERE U.Date BETWEEN 2021-01-01 AND 2021-12-31
+      AND U.UpdateType IN [New, Update]
+    GROUP BY U.Country, U.ElementType
+
+Supported constructs (everything the paper's three examples use):
+
+* ``COUNT(*)`` and ``Percentage(*)`` metrics;
+* ``U.Date BETWEEN d1 AND d2`` and ``U.Date AFTER d`` (open-ended;
+  the caller supplies ``default_end``);
+* ``U.<attr> = Value`` and ``U.<attr> IN [V1, V2, ...]`` filters on
+  ElementType, Country, RoadType, UpdateType;
+* ``GROUP BY`` over any subset of the five attributes.
+
+Values are accepted in either the paper's TitleCase (``UnitedStates``)
+or our snake_case (``united_states``).
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import date
+
+from repro.core.query import AnalysisQuery
+from repro.errors import QueryError
+
+__all__ = ["parse_sql"]
+
+_SQL_ATTRIBUTE = {
+    "elementtype": "element_type",
+    "date": "date",
+    "country": "country",
+    "roadtype": "road_type",
+    "updatetype": "update_type",
+}
+
+_UPDATE_TYPE_VALUES = {
+    "new": "create",
+    "update": "geometry",
+    "delete": "delete",
+    "metadataupdate": "metadata",
+    # Our own names are accepted too.
+    "create": "create",
+    "geometry": "geometry",
+    "metadata": "metadata",
+}
+
+_DATE_RE = r"\d{4}-\d{2}-\d{2}"
+
+
+def _snake_case(value: str) -> str:
+    """``UnitedStates`` -> ``united_states``; snake_case passes through."""
+    value = value.strip().strip("'\"")
+    if re.fullmatch(r"[a-z0-9_]+", value):
+        return value
+    if value.isupper():  # acronyms like USA
+        return value.lower()
+    parts = re.findall(r"[A-Z][a-z0-9]*|[a-z0-9]+", value)
+    return "_".join(p.lower() for p in parts)
+
+
+def _parse_value(attribute: str, text: str) -> str:
+    if attribute == "update_type":
+        key = text.strip().strip("'\"").lower()
+        try:
+            return _UPDATE_TYPE_VALUES[key]
+        except KeyError:
+            raise QueryError(f"unknown UpdateType literal {text!r}") from None
+    value = _snake_case(text)
+    if attribute == "element_type":
+        if value not in ("node", "way", "relation"):
+            raise QueryError(f"unknown ElementType literal {text!r}")
+    return value
+
+
+def _parse_attribute(token: str) -> str:
+    name = token.strip()
+    if "." in name:
+        name = name.split(".", 1)[1]
+    key = name.replace("_", "").lower()
+    try:
+        return _SQL_ATTRIBUTE[key]
+    except KeyError:
+        raise QueryError(f"unknown UpdateList attribute {token!r}") from None
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on a keyword outside brackets (case-insensitive)."""
+    parts: list[str] = []
+    depth = 0
+    pattern = re.compile(re.escape(separator), re.IGNORECASE)
+    last = 0
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif depth == 0:
+            match = pattern.match(text, index)
+            if match and _is_word_boundary(text, index, match.end()):
+                parts.append(text[last:index])
+                last = match.end()
+                index = match.end()
+                continue
+        index += 1
+    parts.append(text[last:])
+    return parts
+
+
+def _is_word_boundary(text: str, start: int, end: int) -> bool:
+    before_ok = start == 0 or not text[start - 1].isalnum()
+    after_ok = end >= len(text) or not text[end].isalnum()
+    return before_ok and after_ok
+
+
+def parse_sql(sql: str, default_end: date | None = None) -> AnalysisQuery:
+    """Parse one paper-dialect SQL statement into an AnalysisQuery.
+
+    ``default_end`` closes open-ended ``AFTER`` date predicates (e.g.
+    the index's newest covered day).
+    """
+    text = " ".join(sql.split())
+    match = re.fullmatch(
+        r"SELECT\s+(?P<select>.+?)\s+FROM\s+UpdateList(\s+U)?"
+        r"(\s+WHERE\s+(?P<where>.+?))?"
+        r"(\s+GROUP\s+BY\s+(?P<group>.+?))?\s*;?",
+        text,
+        re.IGNORECASE,
+    )
+    if match is None:
+        raise QueryError("unrecognized SQL shape (expected SELECT .. FROM UpdateList ..)")
+
+    metric = "count"
+    select_items = [item.strip() for item in match.group("select").split(",")]
+    plain_attributes: list[str] = []
+    metric_seen = False
+    for item in select_items:
+        lowered = item.lower().replace(" ", "")
+        if lowered == "count(*)":
+            metric, metric_seen = "count", True
+        elif lowered == "percentage(*)":
+            metric, metric_seen = "percentage", True
+        else:
+            plain_attributes.append(_parse_attribute(item))
+    if not metric_seen:
+        raise QueryError("SELECT must include COUNT(*) or Percentage(*)")
+
+    group_by: tuple[str, ...] = ()
+    if match.group("group"):
+        group_by = tuple(
+            _parse_attribute(item) for item in match.group("group").split(",")
+        )
+    if plain_attributes and tuple(plain_attributes) != group_by:
+        raise QueryError(
+            f"SELECT attributes {plain_attributes} must match "
+            f"GROUP BY {list(group_by)}"
+        )
+
+    start: date | None = None
+    end: date | None = None
+    filters: dict[str, tuple[str, ...]] = {}
+    if match.group("where"):
+        # Protect the AND that belongs to BETWEEN before splitting the
+        # conjunction.
+        where = re.sub(
+            rf"(BETWEEN\s+{_DATE_RE})\s+AND\s+({_DATE_RE})",
+            r"\1 @@BETWEENSEP@@ \2",
+            match.group("where"),
+            flags=re.IGNORECASE,
+        )
+        for condition in _split_top_level(where, "AND"):
+            condition = condition.replace("@@BETWEENSEP@@", "AND").strip()
+            if not condition:
+                continue
+            start, end = _apply_condition(
+                condition, filters, start, end, default_end
+            )
+    if start is None or end is None:
+        raise QueryError("WHERE must constrain U.Date (BETWEEN or AFTER)")
+
+    return AnalysisQuery(
+        start=start,
+        end=end,
+        element_types=filters.get("element_type"),
+        countries=filters.get("country"),
+        road_types=filters.get("road_type"),
+        update_types=filters.get("update_type"),
+        group_by=group_by,
+        metric=metric,
+    )
+
+
+def _apply_condition(
+    condition: str,
+    filters: dict[str, tuple[str, ...]],
+    start: date | None,
+    end: date | None,
+    default_end: date | None,
+) -> tuple[date | None, date | None]:
+    between = re.fullmatch(
+        rf"(?P<attr>\S+)\s+BETWEEN\s+(?P<d1>{_DATE_RE})\s+AND\s+(?P<d2>{_DATE_RE})",
+        condition,
+        re.IGNORECASE,
+    )
+    if between:
+        if _parse_attribute(between.group("attr")) != "date":
+            raise QueryError("BETWEEN is only supported on U.Date")
+        return (
+            date.fromisoformat(between.group("d1")),
+            date.fromisoformat(between.group("d2")),
+        )
+    after = re.fullmatch(
+        rf"(?P<attr>\S+)\s+AFTER\s+(?P<d>{_DATE_RE})",
+        condition,
+        re.IGNORECASE,
+    )
+    if after:
+        if _parse_attribute(after.group("attr")) != "date":
+            raise QueryError("AFTER is only supported on U.Date")
+        if default_end is None:
+            raise QueryError(
+                "U.Date AFTER needs a default_end (the newest covered day)"
+            )
+        return date.fromisoformat(after.group("d")), default_end
+
+    in_clause = re.fullmatch(
+        r"(?P<attr>\S+)\s+IN\s+\[(?P<values>.*?)\]", condition, re.IGNORECASE
+    )
+    if in_clause:
+        attribute = _parse_attribute(in_clause.group("attr"))
+        if attribute == "date":
+            raise QueryError("IN lists are not supported on U.Date")
+        values = tuple(
+            _parse_value(attribute, value)
+            for value in in_clause.group("values").split(",")
+            if value.strip()
+        )
+        if not values:
+            raise QueryError(f"empty IN list for {attribute}")
+        filters[attribute] = values
+        return start, end
+
+    equals = re.fullmatch(r"(?P<attr>\S+)\s*=\s*(?P<value>\S+)", condition)
+    if equals:
+        attribute = _parse_attribute(equals.group("attr"))
+        if attribute == "date":
+            raise QueryError("use BETWEEN for date equality")
+        filters[attribute] = (_parse_value(attribute, equals.group("value")),)
+        return start, end
+
+    raise QueryError(f"unsupported WHERE condition: {condition!r}")

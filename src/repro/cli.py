@@ -1,0 +1,239 @@
+"""Command-line interface to the RASED reproduction.
+
+A deployment lives under one root directory: OSM feed files (diffs,
+changesets) under ``<root>/feeds`` and index/warehouse pages under
+``<root>/pages``.  Typical session::
+
+    rased-repro simulate --root /tmp/rased --start 2021-01-01 --end 2021-02-28
+    rased-repro ingest   --root /tmp/rased
+    rased-repro info     --root /tmp/rased
+    rased-repro query    --root /tmp/rased --sql "SELECT U.Country, COUNT(*) \\
+        FROM UpdateList U WHERE U.Date BETWEEN 2021-01-01 AND 2021-02-28 \\
+        GROUP BY U.Country" --chart bar
+    rased-repro samples  --root /tmp/rased --zone germany -n 5
+    rased-repro serve    --root /tmp/rased --port 8200
+
+``simulate`` drives the synthetic world and *publishes* feed files;
+``ingest`` crawls anything not yet ingested (restart-safe via the
+persisted crawl cursor); ``query``/``samples``/``serve`` are read-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import date
+from pathlib import Path
+
+from repro.baseline.sqlparse import parse_sql
+from repro.errors import RasedError
+from repro.storage.disk import DirectoryDisk
+from repro.synth.simulator import SimulationConfig
+from repro.system import RasedSystem, SystemConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _open_system(root: str, seed: int = 42, cache_slots: int = 64) -> RasedSystem:
+    root_path = Path(root)
+    store = DirectoryDisk(root_path / "pages")
+    config = SystemConfig(
+        road_types=12,
+        cache_slots=cache_slots,
+        simulation=SimulationConfig(seed=seed),
+    )
+    return RasedSystem.create(
+        root=root_path / "feeds", config=config, store=store
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = _open_system(args.root, seed=args.seed)
+    start = date.fromisoformat(args.start)
+    end = date.fromisoformat(args.end)
+    day = start
+    published = 0
+    from datetime import timedelta
+
+    while day <= end:
+        system.publish_day(day)
+        published += 1
+        day += timedelta(days=1)
+    print(f"published {published} daily diffs under {args.root}/feeds")
+    if args.history_out:
+        count = system.simulator.write_history_dump(args.history_out)
+        print(f"wrote full-history dump ({count:,} element versions) to {args.history_out}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    system = _open_system(args.root)
+    report = system.pipeline.run_daily()
+    print(
+        f"ingested {report.days_processed} days: "
+        f"{report.updates_indexed:,} updates, "
+        f"{len(report.cubes_written)} cubes written, "
+        f"{report.updates_skipped} skipped"
+    )
+    return 0
+
+
+def _cmd_rebuild(args: argparse.Namespace) -> int:
+    """Monthly maintenance: reclassify one month from a history dump."""
+    from repro.core.calendar import month_key
+
+    system = _open_system(args.root)
+    year_text, _, month_text = args.month.partition("-")
+    month = month_key(int(year_text), int(month_text))
+    report = system.pipeline.run_monthly(args.history, month)
+    print(
+        f"rebuilt {month}: {report.updates_indexed:,} reclassified updates "
+        f"across {report.days_processed} days, "
+        f"{len(report.cubes_written)} cubes rewritten"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    system = _open_system(args.root)
+    coverage = system.index.coverage()
+    print(f"root:      {args.root}")
+    print(f"coverage:  {coverage[0]} .. {coverage[1]}" if coverage else "coverage:  (empty)")
+    pages = system.index.pages_per_level()
+    for level, count in sorted(pages.items()):
+        print(f"{level.label:<9}  {count} cubes")
+    print(f"warehouse  {system.warehouse.row_count:,} rows "
+          f"({system.warehouse.page_count} heap pages)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    system = _open_system(args.root, cache_slots=args.cache_slots)
+    system.warm_cache()
+    coverage = system.index.coverage()
+    default_end = coverage[1] if coverage else None
+    query = parse_sql(args.sql, default_end=default_end)
+    result = system.dashboard.analysis(query)
+    print(
+        f"-- {result.stats.cube_count} cubes "
+        f"({result.stats.cache_hits} cached), "
+        f"{result.stats.simulated_ms:.2f} ms modeled --"
+    )
+    if args.chart == "bar":
+        from repro.dashboard.charts import bar_chart
+
+        print(bar_chart(result, limit=args.limit))
+    elif args.chart == "series":
+        from repro.dashboard.charts import time_series
+
+        print(time_series(result))
+    elif args.chart == "map":
+        from repro.dashboard.charts import choropleth
+
+        print(choropleth(result, system.atlas))
+    else:
+        from repro.dashboard.tables import render_table
+
+        print(render_table(result, limit=args.limit))
+    return 0
+
+
+def _cmd_samples(args: argparse.Namespace) -> int:
+    system = _open_system(args.root)
+    records = system.dashboard.sample_updates(args.zone, n=args.n)
+    for record in records:
+        print(record.to_tsv())
+    print(f"-- {len(records)} sample updates in {args.zone} --", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.dashboard.server import DashboardServer
+
+    system = _open_system(args.root, cache_slots=args.cache_slots)
+    system.warm_cache()
+    server = DashboardServer(system.dashboard, host=args.host, port=args.port)
+    server.start()
+    print(f"dashboard API on {server.url} (Ctrl-C to stop)")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rased-repro",
+        description="RASED reproduction: simulate, ingest, and query OSM road-network updates.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate edits and publish feed files")
+    simulate.add_argument("--root", required=True)
+    simulate.add_argument("--start", required=True, help="YYYY-MM-DD")
+    simulate.add_argument("--end", required=True, help="YYYY-MM-DD")
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument(
+        "--history-out", default=None, help="also write a full-history dump here"
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    ingest = sub.add_parser("ingest", help="crawl and index unprocessed diffs")
+    ingest.add_argument("--root", required=True)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    rebuild = sub.add_parser(
+        "rebuild", help="monthly maintenance from a full-history dump"
+    )
+    rebuild.add_argument("--root", required=True)
+    rebuild.add_argument("--history", required=True, help="full-history .osm file")
+    rebuild.add_argument("--month", required=True, help="YYYY-MM")
+    rebuild.set_defaults(func=_cmd_rebuild)
+
+    info = sub.add_parser("info", help="show index coverage and sizes")
+    info.add_argument("--root", required=True)
+    info.set_defaults(func=_cmd_info)
+
+    query = sub.add_parser("query", help="run a paper-dialect SQL analysis query")
+    query.add_argument("--root", required=True)
+    query.add_argument("--sql", required=True)
+    query.add_argument(
+        "--chart", choices=("table", "bar", "series", "map"), default="table"
+    )
+    query.add_argument("--limit", type=int, default=20)
+    query.add_argument("--cache-slots", type=int, default=64)
+    query.set_defaults(func=_cmd_query)
+
+    samples = sub.add_parser("samples", help="sample updates in a zone")
+    samples.add_argument("--root", required=True)
+    samples.add_argument("--zone", required=True)
+    samples.add_argument("-n", type=int, default=100)
+    samples.set_defaults(func=_cmd_samples)
+
+    serve = sub.add_parser("serve", help="serve the JSON dashboard API")
+    serve.add_argument("--root", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8200)
+    serve.add_argument("--cache-slots", type=int, default=64)
+    serve.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except RasedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Geocoding updates to countries, per the paper's Section V rules.
+
+The daily crawler obtains *Country*, *Latitude*, *Longitude* easily
+for node elements (they carry coordinates), but ways and relations in
+a diff reference node ids without locations.  RASED resolves those via
+the update's ``ChangesetID``: fetch the changeset's bounding box from
+the changesets feed, map the box to its country, and use "the center
+point contained in the bounding box" as the representative location.
+
+:class:`Geocoder` encapsulates both paths over a
+:class:`~repro.geo.zones.ZoneAtlas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeocodeError
+from repro.geo.geometry import Point
+from repro.geo.zones import Zone, ZoneAtlas
+from repro.osm.changesets import Changeset
+from repro.osm.model import OSMNode
+
+__all__ = ["Geocoder", "Location"]
+
+
+@dataclass(frozen=True)
+class Location:
+    """A resolved update location: representative point plus country."""
+
+    point: Point
+    country: Zone
+
+
+class Geocoder:
+    """Resolves update locations against the zone atlas."""
+
+    def __init__(self, atlas: ZoneAtlas) -> None:
+        self.atlas = atlas
+
+    def locate_node(self, node: OSMNode) -> Location:
+        """Locate a node update at the node's own coordinates."""
+        point = Point(lon=node.lon, lat=node.lat)
+        return Location(point=point, country=self.atlas.country_at(point))
+
+    def locate_changeset(self, changeset: Changeset) -> Location:
+        """Locate a way/relation update at its changeset's bbox center."""
+        if changeset.bbox is None:
+            raise GeocodeError(
+                f"changeset {changeset.id} has no bounding box"
+            )
+        center, zones = self.atlas.resolve_bbox(changeset.bbox)
+        return Location(point=center, country=zones[0])

@@ -1,0 +1,182 @@
+"""The ``UpdateList`` relation: RASED's central data product.
+
+The Data Collection module reduces every OSM update to one tuple of
+eight attributes (paper, Section III):
+
+    ⟨ElementType, Date, Country, Latitude, Longitude, RoadType,
+      UpdateType, ChangesetID⟩
+
+``Country`` is the update's primary country; the continent and (for US
+updates) state zones are *derived* from the coordinates at cube-build
+time via the :class:`~repro.geo.zones.ZoneAtlas`, so the stored
+relation stays exactly the paper's eight columns.
+
+:class:`UpdateList` is a thin list wrapper adding the two consumers'
+views: bulk cube coordinates (for the Storage & Indexing module) and a
+TSV serialization (the artifact handed from the crawlers to indexing,
+and the relation bulk-loaded into the warehouse and the DBMS baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date as date_type
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.dimensions import CubeSchema, ELEMENT_TYPES, UPDATE_TYPES
+from repro.errors import ParseError
+from repro.geo.geometry import Point
+from repro.geo.zones import ZoneAtlas
+
+__all__ = ["UpdateRecord", "UpdateList"]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One row of the UpdateList relation."""
+
+    element_type: str
+    date: date_type
+    country: str
+    latitude: float
+    longitude: float
+    road_type: str
+    update_type: str
+    changeset_id: int
+
+    def __post_init__(self) -> None:
+        if self.element_type not in ELEMENT_TYPES:
+            raise ParseError(f"bad ElementType {self.element_type!r}")
+        if self.update_type not in UPDATE_TYPES:
+            raise ParseError(f"bad UpdateType {self.update_type!r}")
+
+    @property
+    def point(self) -> Point:
+        return Point(lon=self.longitude, lat=self.latitude)
+
+    def to_tsv(self) -> str:
+        return "\t".join(
+            (
+                self.element_type,
+                self.date.isoformat(),
+                self.country,
+                f"{self.latitude:.7f}",
+                f"{self.longitude:.7f}",
+                self.road_type,
+                self.update_type,
+                str(self.changeset_id),
+            )
+        )
+
+    @classmethod
+    def from_tsv(cls, line: str) -> "UpdateRecord":
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != 8:
+            raise ParseError(f"UpdateList row has {len(parts)} fields, expected 8")
+        try:
+            return cls(
+                element_type=parts[0],
+                date=date_type.fromisoformat(parts[1]),
+                country=parts[2],
+                latitude=float(parts[3]),
+                longitude=float(parts[4]),
+                road_type=parts[5],
+                update_type=parts[6],
+                changeset_id=int(parts[7]),
+            )
+        except ValueError as exc:
+            raise ParseError(f"malformed UpdateList row {line!r}: {exc}") from None
+
+
+class UpdateList:
+    """An ordered collection of :class:`UpdateRecord` rows."""
+
+    def __init__(self, records: Iterable[UpdateRecord] = ()) -> None:
+        self.records: list[UpdateRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> UpdateRecord:
+        return self.records[index]
+
+    def append(self, record: UpdateRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[UpdateRecord]) -> None:
+        self.records.extend(records)
+
+    # -- cube view -------------------------------------------------------
+
+    def cube_coordinates(
+        self, schema: CubeSchema, atlas: ZoneAtlas | None = None
+    ) -> np.ndarray:
+        """Encode rows into an ``(n, 4)`` array of cube coordinates.
+
+        With an ``atlas``, each row is expanded to every zone it counts
+        toward (country + continent + state), the paper's "countries
+        plus selected zones of interest"; without one, only the stored
+        country is used.  Rows whose road type is unknown to a reduced
+        schema are folded into the schema's last road-type slot rather
+        than dropped, so cube totals remain exact.
+        """
+        coords: list[tuple[int, int, int, int]] = []
+        road_dim = schema.road_type
+        fallback_road = len(road_dim) - 1
+        for record in self.records:
+            element_code = schema.element_type.code(record.element_type)
+            update_code = schema.update_type.code(record.update_type)
+            road_code = road_dim.code_or_none(record.road_type)
+            if road_code is None:
+                road_code = fallback_road
+            if atlas is None:
+                zone_names = [record.country]
+            else:
+                zone_names = [z.name for z in atlas.zones_for_point(record.point)]
+            for zone_name in zone_names:
+                zone_code = schema.country.code_or_none(zone_name)
+                if zone_code is None:
+                    continue
+                coords.append((element_code, zone_code, road_code, update_code))
+        if not coords:
+            return np.empty((0, 4), dtype=np.int64)
+        return np.asarray(coords, dtype=np.int64)
+
+    # -- persistence -----------------------------------------------------
+
+    HEADER = (
+        "element_type\tdate\tcountry\tlatitude\tlongitude\t"
+        "road_type\tupdate_type\tchangeset_id"
+    )
+
+    def write_tsv(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            with open(target, "w", encoding="utf-8") as handle:
+                self._write(handle)
+        else:
+            self._write(target)
+
+    def _write(self, handle: IO[str]) -> None:
+        handle.write(self.HEADER + "\n")
+        for record in self.records:
+            handle.write(record.to_tsv() + "\n")
+
+    @classmethod
+    def read_tsv(cls, source: str | Path | IO[str]) -> "UpdateList":
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls._read(handle)
+        return cls._read(source)
+
+    @classmethod
+    def _read(cls, handle: IO[str]) -> "UpdateList":
+        header = handle.readline().rstrip("\n")
+        if header != cls.HEADER:
+            raise ParseError(f"bad UpdateList header: {header!r}")
+        return cls(UpdateRecord.from_tsv(line) for line in handle if line.strip())

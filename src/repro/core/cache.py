@@ -1,0 +1,155 @@
+"""The cube cache: recent cubes preloaded across index levels.
+
+RASED preloads the most recent cubes of every level into memory,
+splitting ``N`` available slots by ratios (α, β, γ, θ) across the
+daily, weekly, monthly, and yearly levels (paper, Section VII-A):
+
+    {D_{|D|-i}}_{i=0..αN} ∪ {W_{|W|-i}}_{i=0..βN}
+      ∪ {M_{|M|-i}}_{i=0..γN} ∪ {Y_{|Y|-i}}_{i=0..θN}
+
+The rationale is recency skew: dashboards ask about recent periods far
+more often than about 2008.  The ratios trade granularity against
+covered time — a daily-heavy split caches fine detail over a short
+window, a yearly-heavy split caches a coarse view over all of history.
+
+The paper's deployment uses N = 2 GB of cube slots with
+(α, β, γ, θ) = (0.4, 0.35, 0.2, 0.05); those are this module's
+defaults.  A small optional LRU overflow supports query-time admission
+(off by default, matching the paper's static policy).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.calendar import Level, TemporalKey
+from repro.core.cube import DataCube
+from repro.core.hierarchy import HierarchicalIndex
+from repro.errors import ConfigError
+from repro.storage.serializer import cube_page_size
+
+__all__ = ["CacheManager", "CacheRatios", "DEFAULT_RATIOS", "slots_for_bytes"]
+
+
+@dataclass(frozen=True)
+class CacheRatios:
+    """The (α, β, γ, θ) split of cache slots across levels."""
+
+    alpha: float = 0.4   # daily
+    beta: float = 0.35   # weekly
+    gamma: float = 0.2   # monthly
+    theta: float = 0.05  # yearly
+
+    def __post_init__(self) -> None:
+        values = (self.alpha, self.beta, self.gamma, self.theta)
+        if any(v < 0 for v in values):
+            raise ConfigError("cache ratios must be non-negative")
+        if abs(sum(values) - 1.0) > 1e-9:
+            raise ConfigError(f"cache ratios must sum to 1, got {sum(values)}")
+
+    def slots_per_level(self, total_slots: int) -> dict[Level, int]:
+        """Integer slot allotment per level (floor; remainder to daily)."""
+        allotment = {
+            Level.DAY: int(self.alpha * total_slots),
+            Level.WEEK: int(self.beta * total_slots),
+            Level.MONTH: int(self.gamma * total_slots),
+            Level.YEAR: int(self.theta * total_slots),
+        }
+        remainder = total_slots - sum(allotment.values())
+        allotment[Level.DAY] += remainder
+        return allotment
+
+
+DEFAULT_RATIOS = CacheRatios()
+
+
+def slots_for_bytes(cache_bytes: int, schema) -> int:
+    """How many cube slots a byte budget buys (paper: 2 GB ≈ 500 cubes)."""
+    page = cube_page_size(schema)
+    return max(0, cache_bytes // page)
+
+
+class CacheManager:
+    """Slot-based cube cache with the paper's recency preload policy."""
+
+    def __init__(
+        self,
+        index: HierarchicalIndex,
+        slots: int,
+        ratios: CacheRatios = DEFAULT_RATIOS,
+        admit_on_miss: bool = False,
+    ) -> None:
+        if slots < 0:
+            raise ConfigError("cache slots must be non-negative")
+        self.index = index
+        self.slots = slots
+        self.ratios = ratios
+        self.admit_on_miss = admit_on_miss
+        self._cubes: OrderedDict[TemporalKey, DataCube] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- preload -----------------------------------------------------------
+
+    def preload(self) -> int:
+        """Load the most recent cubes per level; returns cubes loaded.
+
+        Reading happens through the index (and thus charges disk I/O),
+        but preloading is part of RASED's offline maintenance — callers
+        benchmarking queries should reset disk stats afterwards.
+        """
+        self._cubes.clear()
+        self.hits = 0
+        self.misses = 0
+        loaded = 0
+        for level, allotment in self.ratios.slots_per_level(self.slots).items():
+            if level not in self.index.levels or allotment <= 0:
+                continue
+            keys = self.index.keys(level)
+            for key in keys[-allotment:]:
+                self._cubes[key] = self.index.get(key)
+                loaded += 1
+        return loaded
+
+    def refresh_key(self, key: TemporalKey) -> None:
+        """Re-read one cached cube after maintenance replaced it."""
+        if key in self._cubes:
+            self._cubes[key] = self.index.get(key)
+
+    # -- lookup ------------------------------------------------------------
+
+    def __contains__(self, key: TemporalKey) -> bool:
+        return key in self._cubes
+
+    def contents(self) -> frozenset[TemporalKey]:
+        """Immutable view of cached keys (consumed by the optimizer)."""
+        return frozenset(self._cubes)
+
+    def get(self, key: TemporalKey) -> DataCube | None:
+        """A cached cube, or ``None`` on miss (counts hit/miss stats)."""
+        cube = self._cubes.get(key)
+        if cube is not None:
+            self.hits += 1
+            self._cubes.move_to_end(key)
+            return cube
+        self.misses += 1
+        return None
+
+    def admit(self, cube: DataCube) -> None:
+        """Query-time admission with LRU eviction (optional extension)."""
+        if not self.admit_on_miss or self.slots == 0:
+            return
+        self._cubes[cube.key] = cube
+        self._cubes.move_to_end(cube.key)
+        while len(self._cubes) > self.slots:
+            self._cubes.popitem(last=False)
+
+    @property
+    def cached_count(self) -> int:
+        return len(self._cubes)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

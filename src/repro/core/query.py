@@ -1,0 +1,163 @@
+"""Analysis query model: the paper's SQL signature as a dataclass.
+
+Every RASED analysis query is an aggregation over the UpdateList with
+optional filters and group-bys on *ElementType*, *Date*, *Country*,
+*RoadType*, and *UpdateType* (paper, Section IV-A):
+
+.. code-block:: sql
+
+    SELECT <group attrs>, COUNT(*)
+    FROM UpdateList U
+    WHERE U.ElementType IN ... AND U.Date BETWEEN d1 AND d2
+      AND U.Country IN ... AND U.RoadType IN ... AND U.UpdateType IN ...
+    GROUP BY <group attrs>
+
+:class:`AnalysisQuery` captures exactly that, plus the paper's
+``Percentage(*)`` variant (results as a share of the country's road
+network size) and a time granularity for date group-bys (daily,
+weekly, monthly, or yearly series).  :class:`QueryResult` is the
+tabular answer with per-query execution statistics attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.core.calendar import Level
+from repro.errors import QueryError
+
+__all__ = ["AnalysisQuery", "QueryResult", "QueryStats", "GROUPABLE_ATTRIBUTES"]
+
+#: Attributes usable in filters and GROUP BY, in canonical order.
+GROUPABLE_ATTRIBUTES = ("element_type", "date", "country", "road_type", "update_type")
+
+METRIC_COUNT = "count"
+METRIC_PERCENTAGE = "percentage"
+
+
+@dataclass(frozen=True)
+class AnalysisQuery:
+    """One analysis query over the UpdateList."""
+
+    start: date
+    end: date
+    element_types: tuple[str, ...] | None = None
+    countries: tuple[str, ...] | None = None
+    road_types: tuple[str, ...] | None = None
+    update_types: tuple[str, ...] | None = None
+    group_by: tuple[str, ...] = ()
+    metric: str = METRIC_COUNT
+    #: Granularity of the ``date`` group-by axis.
+    date_granularity: Level = Level.DAY
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise QueryError(f"query end {self.end} precedes start {self.start}")
+        for attribute in self.group_by:
+            if attribute not in GROUPABLE_ATTRIBUTES:
+                raise QueryError(
+                    f"cannot group by {attribute!r}; "
+                    f"expected one of {GROUPABLE_ATTRIBUTES}"
+                )
+        if len(set(self.group_by)) != len(self.group_by):
+            raise QueryError(f"duplicate group-by attribute in {self.group_by}")
+        if self.metric not in (METRIC_COUNT, METRIC_PERCENTAGE):
+            raise QueryError(f"unknown metric {self.metric!r}")
+        for name, values in (
+            ("element_types", self.element_types),
+            ("countries", self.countries),
+            ("road_types", self.road_types),
+            ("update_types", self.update_types),
+        ):
+            if values is not None and len(values) == 0:
+                raise QueryError(f"{name} filter is empty (would match nothing)")
+
+    # -- executor views ----------------------------------------------------
+
+    @property
+    def cube_group_by(self) -> tuple[str, ...]:
+        """Group-by attributes that live inside a cube (all but date)."""
+        return tuple(a for a in self.group_by if a != "date")
+
+    @property
+    def groups_by_date(self) -> bool:
+        return "date" in self.group_by
+
+    def cube_filters(self) -> dict[str, tuple[str, ...] | None]:
+        """Filters in the cube's axis vocabulary."""
+        return {
+            "element_type": self.element_types,
+            "country": self.countries,
+            "road_type": self.road_types,
+            "update_type": self.update_types,
+        }
+
+    def describe(self) -> str:
+        """A one-line human description (used by the dashboard log)."""
+        parts = [f"{self.start}..{self.end}"]
+        if self.countries:
+            parts.append(f"countries={','.join(self.countries)}")
+        if self.element_types:
+            parts.append(f"elements={','.join(self.element_types)}")
+        if self.road_types:
+            parts.append(f"roads={','.join(self.road_types)}")
+        if self.update_types:
+            parts.append(f"updates={','.join(self.update_types)}")
+        if self.group_by:
+            parts.append(f"group_by={','.join(self.group_by)}")
+        parts.append(self.metric)
+        return " ".join(parts)
+
+
+@dataclass
+class QueryStats:
+    """Execution statistics for one query (the paper's measurements)."""
+
+    cube_count: int = 0
+    cache_hits: int = 0
+    disk_reads: int = 0
+    missing_days: int = 0
+    #: Virtual disk latency charged + measured in-memory compute time.
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def simulated_ms(self) -> float:
+        return self.simulated_seconds * 1000.0
+
+
+@dataclass
+class QueryResult:
+    """The tabular answer to an analysis query.
+
+    ``rows`` maps a tuple of group values — ordered as
+    ``query.group_by``, with date cells being the period's start date —
+    to the metric value (an int count, or a float percentage).
+    """
+
+    query: AnalysisQuery
+    rows: dict[tuple, float] = field(default_factory=dict)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def total(self) -> float:
+        return sum(self.rows.values())
+
+    def sorted_rows(
+        self, by_value: bool = True, descending: bool = True
+    ) -> list[tuple[tuple, float]]:
+        if by_value:
+            return sorted(
+                self.rows.items(), key=lambda item: item[1], reverse=descending
+            )
+        return sorted(self.rows.items(), key=lambda item: str(item[0]))
+
+    def to_table(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by attribute names plus 'value'."""
+        table: list[dict[str, object]] = []
+        for key, value in self.sorted_rows():
+            row: dict[str, object] = dict(zip(self.query.group_by, key))
+            row["value"] = value
+            table.append(row)
+        return table

@@ -1,0 +1,142 @@
+"""Text chart renderers: bar charts, time series, choropleth grids.
+
+RASED visualizes analysis answers as "various charts (bar, choropleth,
+time series)" (paper, Section IV-A; Figs. 2, 4, 5).  The reproduction
+renders the same chart types in plain text so they work in any
+terminal and in test assertions:
+
+* :func:`bar_chart` — horizontal bars, one per group (Figs. 2 and 4);
+* :func:`time_series` — one line per series over a shared time axis,
+  plotted as a character grid (Fig. 5);
+* :func:`choropleth` — the world's country grid shaded by intensity
+  (the dashboard's map view), using the synthetic atlas's layout.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.core.query import QueryResult
+from repro.errors import QueryError
+from repro.geo.zones import ZoneAtlas
+
+__all__ = ["bar_chart", "time_series", "choropleth"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def bar_chart(
+    result: QueryResult,
+    width: int = 50,
+    limit: int = 20,
+    label_from: tuple[int, ...] | None = None,
+) -> str:
+    """Horizontal bar chart of the result's rows, largest first.
+
+    ``label_from`` selects which group-key positions form the bar
+    label (default: all of them, joined with '/').
+    """
+    items = result.sorted_rows()[:limit]
+    if not items:
+        return "(no data)"
+    peak = max(value for _, value in items) or 1
+    labels = []
+    for key, _ in items:
+        parts = key if label_from is None else tuple(key[i] for i in label_from)
+        labels.append("/".join(str(p) for p in parts) or "(all)")
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, (key, value) in zip(labels, items):
+        bar = "#" * max(1, round(width * value / peak))
+        display = f"{value:,.2f}" if isinstance(value, float) and not float(value).is_integer() else f"{int(value):,}"
+        lines.append(f"{label.ljust(label_width)} | {bar} {display}")
+    return "\n".join(lines)
+
+
+def time_series(
+    result: QueryResult,
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Character-grid line chart; one glyph per series (Fig. 5 analog).
+
+    Requires ``date`` in the query's group-by.  Non-date group values
+    are joined into the series name.
+    """
+    if "date" not in result.query.group_by:
+        raise QueryError("time_series needs a query grouped by date")
+    date_pos = result.query.group_by.index("date")
+
+    series: dict[str, dict[date, float]] = {}
+    dates: set[date] = set()
+    for key, value in result.rows.items():
+        when = key[date_pos]
+        name = "/".join(
+            str(part) for i, part in enumerate(key) if i != date_pos
+        ) or "all"
+        series.setdefault(name, {})[when] = value
+        dates.add(when)
+    if not dates:
+        return "(no data)"
+    timeline = sorted(dates)
+    peak = max((v for points in series.values() for v in points.values()), default=0) or 1
+
+    glyphs = "ox+*@%&$"
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, points) in enumerate(sorted(series.items())):
+        glyph = glyphs[series_index % len(glyphs)]
+        for when, value in points.items():
+            x = (
+                0
+                if len(timeline) == 1
+                else round((timeline.index(when)) * (width - 1) / (len(timeline) - 1))
+            )
+            y = height - 1 - round((value / peak) * (height - 1))
+            grid[y][x] = glyph
+    lines = ["".join(row) for row in grid]
+    axis = "-" * width
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    footer = f"{timeline[0].isoformat()}{' ' * max(1, width - 20)}{timeline[-1].isoformat()}"
+    return "\n".join(lines + [axis, footer, legend, f"peak={peak:,.2f}"])
+
+
+def choropleth(
+    result: QueryResult,
+    atlas: ZoneAtlas,
+    cell_width: int = 3,
+) -> str:
+    """World map shaded by per-country values (requires country group).
+
+    Renders the synthetic atlas's 25 x 10 country grid; each cell's
+    shade encodes the country's value relative to the maximum.  Zones
+    of interest (continents, states) in the result are ignored — the
+    map shows countries.
+    """
+    if "country" not in result.query.group_by:
+        raise QueryError("choropleth needs a query grouped by country")
+    country_pos = result.query.group_by.index("country")
+    values: dict[str, float] = {}
+    for key, value in result.rows.items():
+        name = str(key[country_pos])
+        values[name] = values.get(name, 0) + value
+    country_values = {
+        zone.name: values.get(zone.name, 0.0) for zone in atlas.countries
+    }
+    peak = max(country_values.values()) or 1
+
+    # Recover each country's grid cell from its bbox within the world.
+    world_min_lon, world_min_lat = -180.0, -60.0
+    cell_w, cell_h = 360.0 / 25, 135.0 / 10
+    grid = [["?" * 0 or " " * cell_width for _ in range(25)] for _ in range(10)]
+    for zone in atlas.countries:
+        col = int(round((zone.bbox.min_lon - world_min_lon) / cell_w))
+        row = int(round((zone.bbox.min_lat - world_min_lat) / cell_h))
+        intensity = country_values[zone.name] / peak
+        shade = _SHADES[min(len(_SHADES) - 1, int(intensity * (len(_SHADES) - 1) + 0.5))]
+        grid[9 - row][col] = shade * cell_width
+    lines = ["".join(row) for row in grid]
+    lines.append(f"shade scale: '{_SHADES}' (low..high), peak={peak:,.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""A stdlib-only JSON HTTP API over the dashboard.
+
+The real RASED is served at https://rased.cs.umn.edu; the reproduction
+exposes the same query surface as a small JSON API (no third-party web
+framework, per the offline constraint):
+
+* ``GET /health`` — liveness and index coverage;
+* ``GET /zones`` — the zone catalog;
+* ``POST /analysis`` — body is a JSON query (see :func:`query_from_json`),
+  response carries rows, the generated SQL, and execution stats;
+* ``POST /analysis/sql`` — body is ``{"sql": "..."}`` in the paper's
+  SQL dialect (Section IV-A), parsed server-side;
+* ``POST /analysis/live`` — like ``/analysis`` but overlays today's
+  partial hourly-crawled counts when a live monitor is wired;
+* ``GET /samples?zone=<name>&n=<k>`` — sample-update query;
+* ``GET /changeset/<id>`` — one changeset's updates;
+* ``GET /contributors?n=<k>`` — top contributors from changeset
+  metadata.
+
+The server is synchronous and single-threaded by design — RASED's
+query latency is milliseconds, so a demo deployment doesn't need more.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from datetime import date
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.baseline.sqlgen import to_sql
+from repro.core.calendar import Level
+from repro.core.query import AnalysisQuery
+from repro.dashboard.api import Dashboard
+from repro.errors import QueryError, RasedError
+
+__all__ = ["query_from_json", "result_to_json", "DashboardServer"]
+
+_LEVELS = {level.label: level for level in Level}
+
+
+def query_from_json(payload: dict) -> AnalysisQuery:
+    """Build an :class:`AnalysisQuery` from a JSON request body."""
+    try:
+        start = date.fromisoformat(payload["start"])
+        end = date.fromisoformat(payload["end"])
+    except (KeyError, ValueError) as exc:
+        raise QueryError(f"bad or missing start/end dates: {exc}") from None
+
+    def optional_tuple(key: str) -> tuple[str, ...] | None:
+        value = payload.get(key)
+        if value is None:
+            return None
+        if not isinstance(value, list):
+            raise QueryError(f"{key} must be a JSON array")
+        return tuple(str(v) for v in value)
+
+    granularity_text = str(payload.get("date_granularity", "day")).lower()
+    if granularity_text not in _LEVELS:
+        raise QueryError(
+            f"date_granularity must be one of {sorted(_LEVELS)}"
+        )
+    return AnalysisQuery(
+        start=start,
+        end=end,
+        element_types=optional_tuple("element_types"),
+        countries=optional_tuple("countries"),
+        road_types=optional_tuple("road_types"),
+        update_types=optional_tuple("update_types"),
+        group_by=tuple(payload.get("group_by", ())),
+        metric=str(payload.get("metric", "count")),
+        date_granularity=_LEVELS[granularity_text],
+    )
+
+
+def result_to_json(result) -> dict:
+    """Serialize a QueryResult for the wire."""
+    rows = []
+    for key, value in result.sorted_rows():
+        cells = [
+            cell.isoformat() if isinstance(cell, date) else cell for cell in key
+        ]
+        rows.append({"group": cells, "value": value})
+    return {
+        "group_by": list(result.query.group_by),
+        "metric": result.query.metric,
+        "rows": rows,
+        "sql": to_sql(result.query),
+        "stats": {
+            "cube_count": result.stats.cube_count,
+            "cache_hits": result.stats.cache_hits,
+            "disk_reads": result.stats.disk_reads,
+            "simulated_ms": result.stats.simulated_ms,
+            "wall_ms": result.stats.wall_seconds * 1000.0,
+        },
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    dashboard: Dashboard  # injected by DashboardServer
+
+    # Silence per-request logging; tests drive many requests.
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        pass
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/health":
+                coverage = self.dashboard.executor.index.coverage()
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "coverage": [d.isoformat() for d in coverage]
+                        if coverage
+                        else None,
+                        "pages": self.dashboard.executor.index.total_pages(),
+                    },
+                )
+            elif parsed.path == "/zones":
+                self._send(
+                    200, {"zones": self.dashboard.atlas.zone_names()}
+                )
+            elif parsed.path == "/samples":
+                params = parse_qs(parsed.query)
+                zone = params.get("zone", [None])[0]
+                if zone is None:
+                    raise QueryError("samples requires ?zone=<name>")
+                n = int(params.get("n", ["100"])[0])
+                records = self.dashboard.sample_updates(zone, n=n)
+                self._send(200, {"samples": [r.to_tsv().split("\t") for r in records]})
+            elif parsed.path.startswith("/changeset/"):
+                changeset_id = int(parsed.path.rsplit("/", 1)[1])
+                records = self.dashboard.changeset_updates(changeset_id)
+                self._send(200, {"updates": [r.to_tsv().split("\t") for r in records]})
+            elif parsed.path == "/contributors":
+                params = parse_qs(parsed.query)
+                n = int(params.get("n", ["10"])[0])
+                contributors = self.dashboard.top_contributors(n)
+                self._send(
+                    200,
+                    {
+                        "contributors": [
+                            {
+                                "user": c.user,
+                                "uid": c.uid,
+                                "sessions": c.session_count,
+                                "changes": c.change_count,
+                                "bulk_sessions": c.bulk_session_count,
+                            }
+                            for c in contributors
+                        ]
+                    },
+                )
+            else:
+                self._send(404, {"error": f"unknown path {parsed.path}"})
+        except (RasedError, ValueError) as exc:
+            self._send(400, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path not in ("/analysis", "/analysis/sql", "/analysis/live"):
+            self._send(404, {"error": f"unknown path {parsed.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if parsed.path == "/analysis/sql":
+                sql = payload.get("sql")
+                if not isinstance(sql, str):
+                    raise QueryError('body must be {"sql": "SELECT ..."}')
+                result = self.dashboard.analysis_sql(sql)
+            else:
+                query = query_from_json(payload)
+                if parsed.path == "/analysis/live":
+                    result = self.dashboard.analysis_live(query)
+                else:
+                    result = self.dashboard.analysis(query)
+            self._send(200, result_to_json(result))
+        except (RasedError, ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": str(exc)})
+
+
+class DashboardServer:
+    """Threaded wrapper so tests and examples can serve + query."""
+
+    def __init__(self, dashboard: Dashboard, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"dashboard": dashboard})
+        self._http = HTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._http.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="rased-dashboard", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "DashboardServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

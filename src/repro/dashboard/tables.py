@@ -1,0 +1,125 @@
+"""Tabular rendering of analysis results.
+
+RASED visualizes query answers "as tabular format sorted on any
+column" (paper, Section IV-A; Fig. 3 shows the country-analysis table
+with one column per (element type, update kind) pair).  This module
+renders :class:`~repro.core.query.QueryResult` objects as aligned text
+tables, including the paper's *pivoted* layout where one group-by
+attribute becomes columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.query import QueryResult
+from repro.errors import QueryError
+
+__all__ = ["render_table", "render_pivot", "format_value"]
+
+
+def format_value(value: float) -> str:
+    """Counts with thousands separators; percentages with 2 decimals."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"
+
+
+def _render_grid(header: Sequence[str], rows: list[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [fmt(header), separator]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table(
+    result: QueryResult,
+    sort_by: str | None = None,
+    descending: bool = True,
+    limit: int | None = None,
+) -> str:
+    """Flat table: one column per group-by attribute plus the value.
+
+    ``sort_by`` may be any group-by attribute name or ``"value"``
+    (default) — the paper's "sorted on any column".
+    """
+    header = list(result.query.group_by) + ["value"]
+    sort_column = sort_by or "value"
+    if sort_column not in header:
+        raise QueryError(
+            f"cannot sort by {sort_column!r}; columns are {header}"
+        )
+    items = list(result.rows.items())
+    if sort_column == "value":
+        items.sort(key=lambda item: item[1], reverse=descending)
+    else:
+        position = result.query.group_by.index(sort_column)
+        items.sort(key=lambda item: str(item[0][position]), reverse=descending)
+    if limit is not None:
+        items = items[:limit]
+    rows = [
+        [str(part) for part in key] + [format_value(value)]
+        for key, value in items
+    ]
+    return _render_grid(header, rows)
+
+
+def render_pivot(
+    result: QueryResult,
+    row_attribute: str,
+    column_attribute: str,
+    limit: int | None = None,
+    include_total: bool = True,
+) -> str:
+    """Pivot table: ``row_attribute`` down, ``column_attribute`` across.
+
+    Reproduces the paper's Fig. 3 layout (countries down, element-type
+    columns across, an "All" total column first), for any pair of the
+    query's group-by attributes.  Rows are sorted by total, descending.
+    """
+    group_by = result.query.group_by
+    for attribute in (row_attribute, column_attribute):
+        if attribute not in group_by:
+            raise QueryError(
+                f"{attribute!r} is not in the query's group_by {group_by}"
+            )
+    if row_attribute == column_attribute:
+        raise QueryError("pivot row and column attributes must differ")
+    row_pos = group_by.index(row_attribute)
+    col_pos = group_by.index(column_attribute)
+
+    columns: list[str] = []
+    table: dict[str, dict[str, float]] = {}
+    for key, value in result.rows.items():
+        row_value = str(key[row_pos])
+        col_value = str(key[col_pos])
+        if col_value not in columns:
+            columns.append(col_value)
+        cell = table.setdefault(row_value, {})
+        cell[col_value] = cell.get(col_value, 0) + value
+    columns.sort()
+
+    ordered = sorted(
+        table.items(), key=lambda item: sum(item[1].values()), reverse=True
+    )
+    if limit is not None:
+        ordered = ordered[:limit]
+
+    header = [row_attribute]
+    if include_total:
+        header.append("All")
+    header.extend(columns)
+    rows: list[list[str]] = []
+    for row_value, cells in ordered:
+        line = [row_value]
+        if include_total:
+            line.append(format_value(sum(cells.values())))
+        line.extend(format_value(cells.get(column, 0)) for column in columns)
+        rows.append(line)
+    return _render_grid(header, rows)

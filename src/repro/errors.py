@@ -1,0 +1,65 @@
+"""Exception hierarchy for the RASED reproduction.
+
+Every error raised by this package derives from :class:`RasedError`, so
+callers can catch one type at the dashboard boundary.  Subclasses are
+organized by subsystem (storage, index, query, collection, synthesis) so
+tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class RasedError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(RasedError):
+    """A component was constructed with invalid parameters."""
+
+
+class DimensionError(RasedError):
+    """An unknown dimension value or malformed dimension schema."""
+
+
+class CalendarError(RasedError):
+    """An invalid temporal key, date range, or hierarchy operation."""
+
+
+class StorageError(RasedError):
+    """Base class for page-store and warehouse failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that is not present in the store."""
+
+
+class PageCorruptError(StorageError):
+    """A page failed checksum or header validation on read."""
+
+
+class IndexError_(RasedError):
+    """Hierarchical-index inconsistency (missing cube, bad rollup)."""
+
+
+class CubeNotFoundError(IndexError_):
+    """A temporal key has no materialized cube in the index."""
+
+
+class QueryError(RasedError):
+    """A malformed or unanswerable analysis/sample query."""
+
+
+class PlanError(QueryError):
+    """The level optimizer could not cover the requested date range."""
+
+
+class ParseError(RasedError):
+    """Malformed OSM XML input (diff, changeset, or history file)."""
+
+
+class GeocodeError(RasedError):
+    """A location could not be resolved to any known zone."""
+
+
+class SimulationError(RasedError):
+    """The synthetic-world simulator reached an inconsistent state."""

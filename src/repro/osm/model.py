@@ -1,0 +1,181 @@
+"""The OSM conceptual data model: nodes, ways, and relations.
+
+Mirrors the paper's Section II-A: OSM data is a list of elements, each
+a *Node* (a point with coordinates), a *Way* (an ordered list of node
+ids forming road segments), or a *Relation* (typed references to other
+elements).  Every element version carries the OSM editing metadata the
+update pipeline consumes — version number, timestamp, changeset id,
+user — plus free-form tags.
+
+Road-ness follows OSM convention: an element is part of the road
+network when it carries a ``highway=*`` tag; the tag's value is the
+*RoadType* attribute of the ``UpdateList``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timezone
+from typing import Sequence
+
+from repro.core.dimensions import ELEMENT_NODE, ELEMENT_RELATION, ELEMENT_WAY
+from repro.errors import ConfigError
+
+__all__ = [
+    "OSMElement",
+    "OSMNode",
+    "OSMWay",
+    "OSMRelation",
+    "RelationMember",
+    "element_kind",
+    "is_road_element",
+    "road_type_of",
+    "UNKNOWN_ROAD_TYPE",
+]
+
+#: RoadType recorded for updates that touch no ``highway`` tag (e.g.
+#: bare nodes).  The real RASED tracks non-road elements too; giving
+#: them a dedicated class keeps cube totals equal to update totals.
+UNKNOWN_ROAD_TYPE = "residential"
+
+
+def _utc(dt: datetime) -> datetime:
+    if dt.tzinfo is None:
+        return dt.replace(tzinfo=timezone.utc)
+    return dt.astimezone(timezone.utc)
+
+
+@dataclass(frozen=True)
+class OSMElement:
+    """Common header shared by all element kinds.
+
+    ``visible=False`` marks a deletion tombstone, as in the OSM full
+    history dump where a deleted element's last version has
+    ``visible="false"``.
+    """
+
+    id: int
+    version: int
+    timestamp: datetime
+    changeset: int
+    uid: int = 0
+    user: str = ""
+    visible: bool = True
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.id <= 0:
+            raise ConfigError(f"element id must be positive, got {self.id}")
+        if self.version <= 0:
+            raise ConfigError(f"element version must be positive, got {self.version}")
+        object.__setattr__(self, "timestamp", _utc(self.timestamp))
+
+    @property
+    def kind(self) -> str:
+        return element_kind(self)
+
+    def with_tags(self, **tags: str) -> "OSMElement":
+        merged = dict(self.tags)
+        merged.update(tags)
+        return replace(self, tags=merged)
+
+    def next_version(self, timestamp: datetime, changeset: int, **changes) -> "OSMElement":
+        """A successor version of this element with bumped version number."""
+        return replace(
+            self,
+            version=self.version + 1,
+            timestamp=_utc(timestamp),
+            changeset=changeset,
+            **changes,
+        )
+
+    def deleted(self, timestamp: datetime, changeset: int) -> "OSMElement":
+        """The deletion tombstone version of this element."""
+        return self.next_version(timestamp, changeset, visible=False)
+
+
+@dataclass(frozen=True)
+class OSMNode(OSMElement):
+    """A point element: intersections, traffic lights, PoIs, ..."""
+
+    lat: float = 0.0
+    lon: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigError(f"node latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigError(f"node longitude out of range: {self.lon}")
+
+    def moved(self, lat: float, lon: float, timestamp: datetime, changeset: int) -> "OSMNode":
+        return self.next_version(timestamp, changeset, lat=lat, lon=lon)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class OSMWay(OSMElement):
+    """An ordered list of node ids forming connected road segments."""
+
+    refs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "refs", tuple(self.refs))
+
+    def with_refs(self, refs: Sequence[int], timestamp: datetime, changeset: int) -> "OSMWay":
+        return self.next_version(timestamp, changeset, refs=tuple(refs))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class RelationMember:
+    """One member reference within a relation."""
+
+    type: str
+    ref: int
+    role: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in (ELEMENT_NODE, ELEMENT_WAY, ELEMENT_RELATION):
+            raise ConfigError(f"invalid member type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class OSMRelation(OSMElement):
+    """A typed grouping of elements (multi-part roads, routes, ...)."""
+
+    members: tuple[RelationMember, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "members", tuple(self.members))
+
+    def with_members(
+        self, members: Sequence[RelationMember], timestamp: datetime, changeset: int
+    ) -> "OSMRelation":
+        return self.next_version(timestamp, changeset, members=tuple(members))  # type: ignore[return-value]
+
+
+def element_kind(element: OSMElement) -> str:
+    """The ElementType attribute value: node, way, or relation."""
+    if isinstance(element, OSMNode):
+        return ELEMENT_NODE
+    if isinstance(element, OSMWay):
+        return ELEMENT_WAY
+    if isinstance(element, OSMRelation):
+        return ELEMENT_RELATION
+    raise ConfigError(f"unknown element class {type(element).__name__}")
+
+
+def is_road_element(element: OSMElement) -> bool:
+    """True when the element is part of the road network."""
+    return "highway" in element.tags or element.tags.get("type") == "route"
+
+
+def road_type_of(element: OSMElement) -> str:
+    """The RoadType attribute: the ``highway`` tag, with a default.
+
+    Nodes that belong to roads (e.g. geometry vertices) usually carry
+    no highway tag themselves; RASED still counts their updates, so we
+    fall back to :data:`UNKNOWN_ROAD_TYPE`.
+    """
+    return element.tags.get("highway", UNKNOWN_ROAD_TYPE)

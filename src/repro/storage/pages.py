@@ -1,0 +1,91 @@
+"""Page-store abstraction underlying the index and warehouse.
+
+RASED stores each data cube in "one disk page" (~4 MB at full scale)
+and its query cost is dominated by how many such pages a query reads
+(paper, Sections VI-VII).  We therefore model storage as a keyed page
+store: pages are addressed by string ids (e.g. ``cube/D2021-03-05``)
+and read/written whole.
+
+Two concrete stores live in :mod:`repro.storage.disk`; both layer I/O
+accounting and a latency model on top of this interface, which is what
+the experiments measure.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PageStore", "DiskStats"]
+
+
+@dataclass
+class DiskStats:
+    """Cumulative I/O accounting for one page store.
+
+    ``simulated_seconds`` is a virtual clock: each read/write charges
+    its modeled latency here, so experiments can report paper-style
+    response times independent of the host machine's real disk.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    simulated_seconds: float = 0.0
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(
+            reads=self.reads,
+            writes=self.writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            simulated_seconds=self.simulated_seconds,
+        )
+
+    def delta(self, earlier: "DiskStats") -> "DiskStats":
+        """The I/O performed since an earlier :meth:`snapshot`."""
+        return DiskStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
+        )
+
+    @property
+    def total_ios(self) -> int:
+        return self.reads + self.writes
+
+
+class PageStore(abc.ABC):
+    """Whole-page keyed storage with I/O accounting."""
+
+    def __init__(self) -> None:
+        self.stats = DiskStats()
+
+    @abc.abstractmethod
+    def read(self, page_id: str) -> bytes:
+        """Return the page's bytes; raise PageNotFoundError if absent."""
+
+    @abc.abstractmethod
+    def write(self, page_id: str, data: bytes) -> None:
+        """Write (or overwrite) a page."""
+
+    @abc.abstractmethod
+    def delete(self, page_id: str) -> None:
+        """Remove a page; raise PageNotFoundError if absent."""
+
+    @abc.abstractmethod
+    def __contains__(self, page_id: str) -> bool: ...
+
+    @abc.abstractmethod
+    def list_pages(self, prefix: str = "") -> Iterator[str]:
+        """Yield page ids starting with ``prefix``, in sorted order."""
+
+    def page_count(self, prefix: str = "") -> int:
+        return sum(1 for _ in self.list_pages(prefix))
+
+    def reset_stats(self) -> None:
+        self.stats = DiskStats()

@@ -1,0 +1,198 @@
+"""The update warehouse: the raw UpdateList in heap-file pages.
+
+Besides the cube index, RASED dumps the whole UpdateList into "a
+standard database table" (paper, Section VI-B) to answer sample-update
+queries — it is also the relation the PostgreSQL-style baseline scans
+in the Fig. 10 experiment.
+
+Rows are packed into fixed-size binary records (so every heap page
+holds the same number of rows) and appended to numbered heap pages on
+the page store.  A :class:`RowPointer` (page number, slot) addresses a
+row; the hash and spatial indexes store row pointers, never rows.
+
+Record layout (little-endian, 96 bytes):
+
+====== ===== ===========================
+offset size  field
+====== ===== ===========================
+0      1     element type code
+1      1     update type code
+2      2     (padding)
+4      4     date as proleptic ordinal
+8      8     latitude  (f64)
+16     8     longitude (f64)
+24     8     changeset id (u64)
+32     32    country (utf-8, NUL-padded)
+64     32    road type (utf-8, NUL-padded)
+====== ===== ===========================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from datetime import date as date_type
+from typing import Iterable, Iterator
+
+from repro.core.dimensions import ELEMENT_TYPES, UPDATE_TYPES
+from repro.errors import StorageError
+from repro.collection.records import UpdateRecord
+from repro.storage.pages import PageStore
+
+__all__ = ["Warehouse", "RowPointer", "ROWS_PER_PAGE"]
+
+_ROW = struct.Struct("<BBxxi d d Q 32s 32s")
+ROW_SIZE = _ROW.size
+#: Rows per heap page; 512 rows ≈ 48 KB pages.
+ROWS_PER_PAGE = 512
+
+_ELEMENT_CODE = {name: i for i, name in enumerate(ELEMENT_TYPES)}
+_UPDATE_CODE = {name: i for i, name in enumerate(UPDATE_TYPES)}
+
+
+@dataclass(frozen=True, order=True)
+class RowPointer:
+    """Physical address of one warehouse row."""
+
+    page: int
+    slot: int
+
+
+def _pack_row(record: UpdateRecord) -> bytes:
+    return _ROW.pack(
+        _ELEMENT_CODE[record.element_type],
+        _UPDATE_CODE[record.update_type],
+        record.date.toordinal(),
+        record.latitude,
+        record.longitude,
+        record.changeset_id,
+        record.country.encode("utf-8")[:32],
+        record.road_type.encode("utf-8")[:32],
+    )
+
+
+def _unpack_row(data: bytes, offset: int) -> UpdateRecord:
+    (
+        element_code,
+        update_code,
+        ordinal,
+        latitude,
+        longitude,
+        changeset_id,
+        country,
+        road_type,
+    ) = _ROW.unpack_from(data, offset)
+    return UpdateRecord(
+        element_type=ELEMENT_TYPES[element_code],
+        date=date_type.fromordinal(ordinal),
+        country=country.rstrip(b"\x00").decode("utf-8"),
+        latitude=latitude,
+        longitude=longitude,
+        road_type=road_type.rstrip(b"\x00").decode("utf-8"),
+        update_type=UPDATE_TYPES[update_code],
+        changeset_id=changeset_id,
+    )
+
+
+class Warehouse:
+    """An append-only heap of UpdateList rows over a page store."""
+
+    def __init__(self, store: PageStore, prefix: str = "warehouse/heap") -> None:
+        self.store = store
+        self.prefix = prefix
+        self._page_count = 0
+        self._last_page_rows = 0
+        self._tail: bytearray | None = None
+        self._recover()
+
+    def _page_id(self, page: int) -> str:
+        return f"{self.prefix}/{page:08d}"
+
+    def _recover(self) -> None:
+        """Rediscover heap extent from the store after a restart."""
+        pages = list(self.store.list_pages(self.prefix + "/"))
+        self._page_count = len(pages)
+        if pages:
+            last = self.store.read(pages[-1])
+            if len(last) % ROW_SIZE:
+                raise StorageError(f"torn heap page {pages[-1]!r}")
+            self._last_page_rows = len(last) // ROW_SIZE
+            if self._last_page_rows < ROWS_PER_PAGE:
+                self._tail = bytearray(last)
+        # Recovery reads shouldn't pollute experiment I/O accounting.
+        self.store.reset_stats()
+
+    # -- write path ---------------------------------------------------------
+
+    def append(self, records: Iterable[UpdateRecord]) -> list[RowPointer]:
+        """Append rows, returning their pointers in order."""
+        pointers: list[RowPointer] = []
+        dirty = False
+        for record in records:
+            if self._tail is None:
+                self._tail = bytearray()
+                self._page_count += 1
+                self._last_page_rows = 0
+            self._tail.extend(_pack_row(record))
+            pointers.append(
+                RowPointer(page=self._page_count - 1, slot=self._last_page_rows)
+            )
+            self._last_page_rows += 1
+            dirty = True
+            if self._last_page_rows == ROWS_PER_PAGE:
+                self.store.write(self._page_id(self._page_count - 1), bytes(self._tail))
+                self._tail = None
+                dirty = False
+        if dirty and self._tail is not None:
+            self.store.write(self._page_id(self._page_count - 1), bytes(self._tail))
+        return pointers
+
+    # -- read path ------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        if self._page_count == 0:
+            return 0
+        return (self._page_count - 1) * ROWS_PER_PAGE + self._last_page_rows
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def fetch(self, pointer: RowPointer) -> UpdateRecord:
+        """Read one row (one page I/O)."""
+        if pointer.page >= self._page_count or pointer.page < 0:
+            raise StorageError(f"row pointer {pointer} beyond heap extent")
+        data = self.store.read(self._page_id(pointer.page))
+        if pointer.slot * ROW_SIZE >= len(data):
+            raise StorageError(f"row pointer {pointer} beyond page extent")
+        return _unpack_row(data, pointer.slot * ROW_SIZE)
+
+    def fetch_many(self, pointers: Iterable[RowPointer]) -> list[UpdateRecord]:
+        """Batch fetch, reading each touched page once."""
+        by_page: dict[int, list[tuple[int, RowPointer]]] = {}
+        ordered = list(pointers)
+        for index, pointer in enumerate(ordered):
+            by_page.setdefault(pointer.page, []).append((index, pointer))
+        results: list[UpdateRecord | None] = [None] * len(ordered)
+        for page, entries in sorted(by_page.items()):
+            data = self.store.read(self._page_id(page))
+            for index, pointer in entries:
+                if pointer.slot * ROW_SIZE >= len(data):
+                    raise StorageError(f"row pointer {pointer} beyond page extent")
+                results[index] = _unpack_row(data, pointer.slot * ROW_SIZE)
+        return results  # type: ignore[return-value]
+
+    def scan_pages(self) -> Iterator[tuple[int, list[UpdateRecord]]]:
+        """Full scan, page by page (the baseline's access path)."""
+        for page in range(self._page_count):
+            data = self.store.read(self._page_id(page))
+            rows = [
+                _unpack_row(data, offset)
+                for offset in range(0, len(data), ROW_SIZE)
+            ]
+            yield page, rows
+
+    def scan(self) -> Iterator[UpdateRecord]:
+        for _, rows in self.scan_pages():
+            yield from rows

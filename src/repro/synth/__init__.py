@@ -1,0 +1,15 @@
+"""Synthetic world, mappers, edit simulator, and query workloads."""
+
+from repro.synth.editors import Mapper, MapperProfile, PROFILES
+from repro.synth.scenarios import ScenarioEvent, ScenarioSimulator, import_event, mapping_party, vandalism_event
+from repro.synth.simulator import DayOutput, EditSimulator, SimulationConfig
+from repro.synth.workload import QueryWorkload
+from repro.synth.world import CountryNetwork, WorldState, build_initial_world
+
+__all__ = [
+    "CountryNetwork", "DayOutput", "EditSimulator", "Mapper", "MapperProfile",
+    "PROFILES", "QueryWorkload", "ScenarioEvent", "ScenarioSimulator",
+    "SimulationConfig", "WorldState", "import_event", "mapping_party",
+    "vandalism_event",
+    "build_initial_world",
+]

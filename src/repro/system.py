@@ -1,0 +1,258 @@
+"""One-stop assembly of a complete RASED deployment.
+
+:class:`RasedSystem` wires together every module from the paper's
+architecture diagram (Fig. 1) — the synthetic OSM feeds, both
+crawlers, the hierarchical cube index, the sample-update warehouse,
+the cache, the query executor, and the dashboard facade — over either
+an in-memory page store or an on-disk directory.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    system = RasedSystem.create()          # in-memory deployment
+    system.simulate_and_ingest(date(2021, 1, 1), date(2021, 3, 31))
+    result = system.dashboard.analysis(AnalysisQuery(...))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+import tempfile
+
+from repro.core.cache import CacheManager, CacheRatios, DEFAULT_RATIOS
+from repro.core.calendar import TemporalKey, month_key
+from repro.core.dimensions import CubeSchema, default_schema
+from repro.core.executor import QueryExecutor
+from repro.core.hierarchy import HierarchicalIndex
+from repro.core.optimizer import LevelOptimizer
+from repro.core.percentages import NetworkSizeRegistry
+from repro.collection.daily import DailyCrawler
+from repro.collection.geocode import Geocoder
+from repro.collection.records import UpdateList as UpdateListType
+from repro.collection.monthly import MonthlyCrawler
+from repro.collection.pipeline import IngestionPipeline, IngestReport
+from repro.dashboard.api import Dashboard
+from repro.geo.zones import ZoneAtlas, build_world
+from repro.osm.changesets import ChangesetStore
+from repro.osm.replication import ReplicationFeed
+from repro.storage.disk import InMemoryDisk
+from repro.storage.hash_index import HashIndex
+from repro.storage.pages import PageStore
+from repro.storage.spatial_index import GridSpatialIndex
+from repro.storage.warehouse import Warehouse
+from repro.synth.simulator import EditSimulator, SimulationConfig
+
+__all__ = ["RasedSystem", "SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment knobs for an assembled system."""
+
+    road_types: int = 12
+    cache_slots: int = 64
+    cache_ratios: CacheRatios = DEFAULT_RATIOS
+    simulation: SimulationConfig = SimulationConfig()
+
+
+class RasedSystem:
+    """A fully wired RASED deployment plus its synthetic data source."""
+
+    def __init__(
+        self,
+        atlas: ZoneAtlas,
+        schema: CubeSchema,
+        store: PageStore,
+        feed_root: Path,
+        config: SystemConfig,
+    ) -> None:
+        self.atlas = atlas
+        self.schema = schema
+        self.store = store
+        self.config = config
+
+        self.simulator = EditSimulator(atlas=atlas, config=config.simulation)
+        self.day_feed = ReplicationFeed(feed_root / "replication", "day")
+        self.hour_feed = ReplicationFeed(feed_root / "replication", "hour")
+        self.changeset_store = ChangesetStore(feed_root / "changesets")
+        self.geocoder = Geocoder(atlas)
+
+        self.index = HierarchicalIndex(schema, store, atlas=atlas)
+        self.warehouse = Warehouse(store)
+        self.hash_index = HashIndex(store)
+        self.spatial_index = GridSpatialIndex(store)
+        self.cache = CacheManager(
+            self.index, slots=config.cache_slots, ratios=config.cache_ratios
+        )
+        self.network_sizes = NetworkSizeRegistry(
+            atlas, self.simulator.road_network_sizes()
+        )
+        self.executor = QueryExecutor(
+            self.index,
+            cache=self.cache,
+            optimizer=LevelOptimizer(self.index),
+            network_sizes=self.network_sizes,
+        )
+        self.pipeline = IngestionPipeline(
+            daily_crawler=DailyCrawler(
+                self.day_feed, self.changeset_store, self.geocoder
+            ),
+            monthly_crawler=MonthlyCrawler(self.changeset_store, self.geocoder),
+            index=self.index,
+            warehouse=self.warehouse,
+            hash_index=self.hash_index,
+            spatial_index=self.spatial_index,
+            cache=self.cache,
+        )
+        from repro.collection.live import LiveMonitor
+
+        self.live_monitor = LiveMonitor(
+            self.hour_feed,
+            self.changeset_store,
+            self.geocoder,
+            schema,
+            atlas=atlas,
+        )
+        self.dashboard = Dashboard(
+            executor=self.executor,
+            atlas=self.atlas,
+            warehouse=self.warehouse,
+            hash_index=self.hash_index,
+            spatial_index=self.spatial_index,
+            live_monitor=self.live_monitor,
+            changeset_store=self.changeset_store,
+        )
+        #: Ground-truth UpdateLists retained per published day (tests).
+        self.truth_by_day: dict[date, "UpdateListType"] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path | None = None,
+        config: SystemConfig | None = None,
+        atlas: ZoneAtlas | None = None,
+        store: PageStore | None = None,
+    ) -> "RasedSystem":
+        """Build a deployment; in-memory pages unless a store is given.
+
+        ``root`` holds the synthetic OSM feed files (replication dirs,
+        changeset files, history dumps); a temporary directory is used
+        when omitted.
+        """
+        config = config or SystemConfig()
+        atlas = atlas or build_world()
+        schema = default_schema(atlas.zone_names(), road_types=config.road_types)
+        store = store or InMemoryDisk()
+        feed_root = Path(root) if root is not None else Path(tempfile.mkdtemp(prefix="rased-"))
+        feed_root.mkdir(parents=True, exist_ok=True)
+        return cls(atlas, schema, store, feed_root, config)
+
+    # -- data flow ---------------------------------------------------------------
+
+    def publish_day(self, day: date, hourly: bool = False) -> int:
+        """Simulate one day and publish its diff + changesets.
+
+        With ``hourly=True`` the day's edits are additionally split by
+        hour and published to the hour-granularity feed the live
+        monitor tails (OSM publishes minute/hour/day diffs in
+        parallel; we model hour + day).
+
+        The simulator's ground-truth UpdateList for the day is retained
+        in :attr:`truth_by_day` so tests (and EXPERIMENTS.md) can
+        validate crawler output against what actually happened.
+        """
+        output = self.simulator.simulate_day(day)
+        for changeset in output.changesets:
+            self.changeset_store.add(changeset)
+        self.changeset_store.flush()
+        self.truth_by_day[day] = output.truth
+        from datetime import datetime, time, timezone
+
+        stamp = datetime.combine(day, time(23, 59), tzinfo=timezone.utc)
+        if hourly:
+            from repro.collection.live import split_change_by_hour
+
+            for hour, change in split_change_by_hour(output.change):
+                hour_stamp = datetime.combine(day, time(hour, 59), tzinfo=timezone.utc)
+                self.hour_feed.publish(change, hour_stamp)
+        return self.day_feed.publish(output.change, stamp)
+
+    def publish_partial_day(self, day: date, through_hour: int) -> int:
+        """Simulate ``day`` but publish only hourly diffs up to an hour.
+
+        Models "today": the daily diff does not exist yet, so only the
+        live monitor can see these updates.  Returns updates published.
+        """
+        output = self.simulator.simulate_day(day)
+        for changeset in output.changesets:
+            self.changeset_store.add(changeset)
+        self.changeset_store.flush()
+        self.truth_by_day[day] = output.truth
+        from datetime import datetime, time, timezone
+
+        from repro.collection.live import split_change_by_hour
+
+        published = 0
+        for hour, change in split_change_by_hour(output.change):
+            if hour > through_hour:
+                continue
+            stamp = datetime.combine(day, time(hour, 59), tzinfo=timezone.utc)
+            self.hour_feed.publish(change, stamp)
+            published += len(change)
+        return published
+
+    def poll_live(self) -> int:
+        """Tail the hourly feed and drop overlays for ingested days.
+
+        An overlay is dropped only when that *specific* day's daily
+        cube exists — coverage can have holes (e.g. a daily diff that
+        never arrived), and those days must stay live.
+        """
+        from repro.core.calendar import day_key
+
+        processed = self.live_monitor.poll()
+        for day in self.live_monitor.partial_days():
+            if self.index.has(day_key(day)):
+                self.live_monitor.discard_day(day)
+        return processed
+
+    def simulate_and_ingest(
+        self, start: date, end: date, monthly_rebuild: bool = False
+    ) -> IngestReport:
+        """Drive the full loop from simulation to queryable index.
+
+        With ``monthly_rebuild=True``, every completed calendar month
+        is additionally reprocessed through the monthly crawler from a
+        full-history dump, upgrading its cubes to full resolution.
+        """
+        day = start
+        from datetime import timedelta
+
+        months_completed: list[TemporalKey] = []
+        while day <= end:
+            self.publish_day(day)
+            month = month_key(day.year, day.month)
+            if monthly_rebuild and day == month.end:
+                months_completed.append(month)
+            day += timedelta(days=1)
+        report = self.pipeline.run_daily()
+        if monthly_rebuild and months_completed:
+            history_path = Path(tempfile.mkstemp(suffix=".osm")[1])
+            try:
+                self.simulator.write_history_dump(history_path)
+                for month in months_completed:
+                    monthly_report = self.pipeline.run_monthly(history_path, month)
+                    report.cubes_written.extend(monthly_report.cubes_written)
+            finally:
+                history_path.unlink(missing_ok=True)
+        # Road networks changed during simulation; refresh denominators.
+        for country, size in self.simulator.road_network_sizes().items():
+            self.network_sizes.update_country(country, size)
+        return report
+
+    def warm_cache(self) -> int:
+        """(Re)preload the recency cache; returns cubes resident."""
+        return self.cache.preload()

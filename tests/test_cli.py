@@ -1,0 +1,173 @@
+"""Tests for the command-line interface (simulate → ingest → query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def deployment_root(tmp_path_factory):
+    """A small simulated + ingested deployment on disk."""
+    root = tmp_path_factory.mktemp("cli-deploy")
+    assert (
+        main(
+            [
+                "simulate",
+                "--root",
+                str(root),
+                "--start",
+                "2021-01-01",
+                "--end",
+                "2021-01-14",
+                "--seed",
+                "5",
+            ]
+        )
+        == 0
+    )
+    assert main(["ingest", "--root", str(root)]) == 0
+    return root
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_present(self):
+        parser = build_parser()
+        for command in ("simulate", "ingest", "info", "query", "samples", "serve"):
+            args = parser.parse_args(
+                [command, "--root", "/tmp/x"]
+                + (["--start", "2021-01-01", "--end", "2021-01-02"] if command == "simulate" else [])
+                + (["--sql", "x"] if command == "query" else [])
+                + (["--zone", "germany"] if command == "samples" else [])
+            )
+            assert args.command == command
+
+
+class TestCommands:
+    def test_simulate_publishes_feeds(self, deployment_root):
+        state = deployment_root / "feeds" / "replication" / "day" / "state.txt"
+        assert state.exists()
+        assert "sequenceNumber=13" in state.read_text()
+
+    def test_ingest_is_incremental(self, deployment_root, capsys):
+        assert main(["ingest", "--root", str(deployment_root)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 0 days" in out
+
+    def test_info_reports_coverage(self, deployment_root, capsys):
+        assert main(["info", "--root", str(deployment_root)]) == 0
+        out = capsys.readouterr().out
+        assert "2021-01-01 .. 2021-01-14" in out
+        assert "day" in out
+        assert "warehouse" in out
+
+    def test_query_table(self, deployment_root, capsys):
+        sql = (
+            "SELECT U.ElementType, COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-14 "
+            "GROUP BY U.ElementType"
+        )
+        assert main(["query", "--root", str(deployment_root), "--sql", sql]) == 0
+        out = capsys.readouterr().out
+        assert "element_type" in out
+        assert "way" in out
+        assert "ms modeled" in out
+
+    def test_query_bar_chart(self, deployment_root, capsys):
+        sql = (
+            "SELECT U.Country, COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-14 "
+            "GROUP BY U.Country"
+        )
+        assert (
+            main(
+                ["query", "--root", str(deployment_root), "--sql", sql, "--chart", "bar"]
+            )
+            == 0
+        )
+        assert "#" in capsys.readouterr().out
+
+    def test_query_with_after_uses_coverage_end(self, deployment_root, capsys):
+        sql = (
+            "SELECT COUNT(*) FROM UpdateList U WHERE U.Date AFTER 2021-01-10"
+        )
+        assert main(["query", "--root", str(deployment_root), "--sql", sql]) == 0
+        assert "value" in capsys.readouterr().out
+
+    def test_query_bad_sql_is_error_exit(self, deployment_root, capsys):
+        assert (
+            main(["query", "--root", str(deployment_root), "--sql", "DROP TABLE"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_samples(self, deployment_root, capsys):
+        assert (
+            main(["samples", "--root", str(deployment_root), "--zone", "germany", "-n", "3"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) <= 3
+        for line in lines:
+            assert line.split("\t")[2] == "germany"
+
+    def test_samples_unknown_zone_is_error(self, deployment_root, capsys):
+        assert (
+            main(["samples", "--root", str(deployment_root), "--zone", "atlantis"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRebuildCommand:
+    def test_simulate_ingest_rebuild_cycle(self, tmp_path, capsys):
+        root = tmp_path / "deploy"
+        history = tmp_path / "history.osm"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--root", str(root),
+                    "--start", "2021-02-01",
+                    "--end", "2021-02-28",
+                    "--seed", "9",
+                    "--history-out", str(history),
+                ]
+            )
+            == 0
+        )
+        assert history.exists()
+        assert main(["ingest", "--root", str(root)]) == 0
+        capsys.readouterr()
+
+        # Before the rebuild, update types are coarse (no metadata).
+        sql = (
+            "SELECT U.UpdateType, COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-02-01 AND 2021-02-28 "
+            "GROUP BY U.UpdateType"
+        )
+        assert main(["query", "--root", str(root), "--sql", sql]) == 0
+        before = capsys.readouterr().out
+        assert "metadata" not in before
+
+        assert (
+            main(
+                [
+                    "rebuild",
+                    "--root", str(root),
+                    "--history", str(history),
+                    "--month", "2021-02",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rebuilt M2021-02" in out
+
+        assert main(["query", "--root", str(root), "--sql", sql]) == 0
+        after = capsys.readouterr().out
+        assert "metadata" in after

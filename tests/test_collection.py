@@ -1,0 +1,363 @@
+"""Tests for the Data Collection module: records, geocoding, crawlers.
+
+The key integration checks validate both crawlers against the
+simulator's ground truth: the daily crawler must recover every truth
+row up to the documented coarsening of UpdateType, and the monthly
+crawler must recover the exact 4-way classification.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from datetime import date, datetime, timezone
+
+import pytest
+
+from repro.core.calendar import month_key
+from repro.core.dimensions import default_schema
+from repro.errors import GeocodeError, ParseError
+from repro.geo.geometry import BBox, Point
+from repro.collection.daily import DailyCrawler, coarse_update_type
+from repro.collection.geocode import Geocoder
+from repro.collection.monthly import MonthlyCrawler
+from repro.collection.records import UpdateList, UpdateRecord
+from repro.osm.changesets import Changeset, ChangesetStore
+from repro.osm.model import OSMNode
+from repro.osm.replication import ReplicationFeed
+from repro.synth.simulator import EditSimulator, SimulationConfig
+
+
+def small_config(**overrides):
+    defaults = dict(
+        seed=9, mapper_count=20, base_sessions_per_day=5, nodes_per_country=8
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def make_record(**overrides) -> UpdateRecord:
+    defaults = dict(
+        element_type="way",
+        date=date(2021, 3, 5),
+        country="germany",
+        latitude=50.0,
+        longitude=10.0,
+        road_type="residential",
+        update_type="create",
+        changeset_id=42,
+    )
+    defaults.update(overrides)
+    return UpdateRecord(**defaults)
+
+
+class TestUpdateRecord:
+    def test_valid_record(self):
+        record = make_record()
+        assert record.point == Point(lon=10.0, lat=50.0)
+
+    def test_bad_element_type_rejected(self):
+        with pytest.raises(ParseError):
+            make_record(element_type="building")
+
+    def test_bad_update_type_rejected(self):
+        with pytest.raises(ParseError):
+            make_record(update_type="vandalism")
+
+    def test_tsv_roundtrip(self):
+        record = make_record()
+        assert UpdateRecord.from_tsv(record.to_tsv()) == record
+
+    def test_tsv_wrong_arity_rejected(self):
+        with pytest.raises(ParseError):
+            UpdateRecord.from_tsv("a\tb\tc")
+
+    def test_tsv_bad_number_rejected(self):
+        fields = make_record().to_tsv().split("\t")
+        fields[3] = "not-a-float"
+        with pytest.raises(ParseError):
+            UpdateRecord.from_tsv("\t".join(fields))
+
+
+class TestUpdateList:
+    def test_file_roundtrip(self, tmp_path):
+        updates = UpdateList([make_record(changeset_id=i) for i in range(5)])
+        path = tmp_path / "updates.tsv"
+        updates.write_tsv(path)
+        restored = UpdateList.read_tsv(path)
+        assert list(restored) == list(updates)
+
+    def test_stream_roundtrip(self):
+        updates = UpdateList([make_record()])
+        buffer = io.StringIO()
+        updates.write_tsv(buffer)
+        buffer.seek(0)
+        assert list(UpdateList.read_tsv(buffer)) == list(updates)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            UpdateList.read_tsv(io.StringIO("wrong\theader\n"))
+
+    def test_cube_coordinates_without_atlas(self, tiny_schema):
+        updates = UpdateList([make_record(), make_record(country="qatar")])
+        coords = updates.cube_coordinates(tiny_schema)
+        assert coords.shape == (2, 4)
+
+    def test_cube_coordinates_zone_expansion(self, atlas, small_schema):
+        germany = atlas.zone("germany").bbox.center
+        updates = UpdateList(
+            [make_record(latitude=germany.lat, longitude=germany.lon)]
+        )
+        coords = updates.cube_coordinates(small_schema, atlas)
+        zones = {small_schema.country.value(int(c[1])) for c in coords}
+        assert zones == {"germany", "europe"}
+
+    def test_cube_coordinates_us_state_expansion(self, atlas, small_schema):
+        minnesota = atlas.zone("minnesota").bbox.center
+        updates = UpdateList(
+            [
+                make_record(
+                    country="united_states",
+                    latitude=minnesota.lat,
+                    longitude=minnesota.lon,
+                )
+            ]
+        )
+        coords = updates.cube_coordinates(small_schema, atlas)
+        zones = {small_schema.country.value(int(c[1])) for c in coords}
+        assert zones == {"united_states", "north_america", "minnesota"}
+
+    def test_unknown_road_type_folds_into_last_slot(self, atlas, small_schema):
+        germany = atlas.zone("germany").bbox.center
+        updates = UpdateList(
+            [
+                make_record(
+                    road_type="bus_guideway",  # outside the 8-type schema
+                    latitude=germany.lat,
+                    longitude=germany.lon,
+                )
+            ]
+        )
+        coords = updates.cube_coordinates(small_schema, atlas)
+        assert len(coords) == 2  # still counted (germany + europe)
+        assert all(int(c[2]) == len(small_schema.road_type) - 1 for c in coords)
+
+    def test_empty_list_coordinates(self, tiny_schema):
+        assert UpdateList().cube_coordinates(tiny_schema).shape == (0, 4)
+
+
+class TestGeocoder:
+    def test_locate_node(self, atlas):
+        geocoder = Geocoder(atlas)
+        center = atlas.zone("qatar").bbox.center
+        node = OSMNode(
+            id=1,
+            version=1,
+            timestamp=datetime(2021, 1, 1, tzinfo=timezone.utc),
+            changeset=1,
+            lat=center.lat,
+            lon=center.lon,
+        )
+        location = geocoder.locate_node(node)
+        assert location.country.name == "qatar"
+
+    def test_locate_changeset_uses_bbox_center(self, atlas):
+        geocoder = Geocoder(atlas)
+        bbox = atlas.zone("brazil").bbox
+        changeset = Changeset(
+            id=1,
+            created_at=datetime(2021, 1, 1, tzinfo=timezone.utc),
+            closed_at=datetime(2021, 1, 1, tzinfo=timezone.utc),
+            uid=1,
+            user="x",
+            bbox=bbox,
+        )
+        location = geocoder.locate_changeset(changeset)
+        assert location.country.name == "brazil"
+        assert location.point == bbox.center
+
+    def test_changeset_without_bbox_raises(self, atlas):
+        geocoder = Geocoder(atlas)
+        changeset = Changeset(
+            id=1,
+            created_at=datetime(2021, 1, 1, tzinfo=timezone.utc),
+            closed_at=datetime(2021, 1, 1, tzinfo=timezone.utc),
+            uid=1,
+            user="x",
+            bbox=None,
+        )
+        with pytest.raises(GeocodeError):
+            geocoder.locate_changeset(changeset)
+
+
+class TestCoarseUpdateType:
+    def test_mapping(self):
+        assert coarse_update_type("create") == "create"
+        assert coarse_update_type("delete") == "delete"
+        assert coarse_update_type("modify") == "geometry"
+
+
+@pytest.fixture(scope="module")
+def crawl_setup(atlas, tmp_path_factory):
+    """Five simulated days published to real feed files, then crawled."""
+    root = tmp_path_factory.mktemp("feeds")
+    sim = EditSimulator(atlas=atlas, config=small_config())
+    feed = ReplicationFeed(root / "replication", "day")
+    changesets = ChangesetStore(root / "changesets")
+    truth_by_day = {}
+    for output in sim.simulate_range(date(2021, 3, 1), date(2021, 3, 5)):
+        for changeset in output.changesets:
+            changesets.add(changeset)
+        changesets.flush()
+        stamp = datetime.combine(
+            output.day, datetime.min.time(), tzinfo=timezone.utc
+        )
+        feed.publish(output.change, stamp)
+        truth_by_day[output.day] = output.truth
+    history_path = root / "history.osm"
+    sim.write_history_dump(history_path)
+    return sim, feed, changesets, truth_by_day, history_path
+
+
+class TestDailyCrawler:
+    def test_crawl_recovers_every_update(self, atlas, crawl_setup):
+        _, feed, changesets, truth_by_day, _ = crawl_setup
+        crawler = DailyCrawler(feed, changesets, Geocoder(atlas))
+        results = list(crawler.crawl_new())
+        assert len(results) == 5
+        for result in results:
+            truth = truth_by_day[result.day]
+            assert len(result.updates) == len(truth)
+            assert result.skipped == 0
+
+    def test_crawled_attributes_match_truth_exactly_except_update_type(
+        self, atlas, crawl_setup
+    ):
+        _, feed, changesets, truth_by_day, _ = crawl_setup
+        crawler = DailyCrawler(feed, changesets, Geocoder(atlas))
+        result = next(iter(crawler.crawl_new()))
+        truth = truth_by_day[result.day]
+
+        def strip(record):
+            # Coordinates pass through 7-decimal XML formatting; compare
+            # at 5 decimals (~1 m) to stay clear of the rounding edge.
+            return (
+                record.element_type,
+                record.date,
+                record.country,
+                round(record.latitude, 5),
+                round(record.longitude, 5),
+                record.road_type,
+                record.changeset_id,
+            )
+
+        assert Counter(map(strip, result.updates)) == Counter(map(strip, truth))
+
+    def test_update_types_are_coarse(self, atlas, crawl_setup):
+        _, feed, changesets, truth_by_day, _ = crawl_setup
+        crawler = DailyCrawler(feed, changesets, Geocoder(atlas))
+        result = next(iter(crawler.crawl_new()))
+        types = {r.update_type for r in result.updates}
+        assert types <= {"create", "delete", "geometry"}
+        assert "metadata" not in types
+
+    def test_coarse_counts_match_coarsened_truth(self, atlas, crawl_setup):
+        _, feed, changesets, truth_by_day, _ = crawl_setup
+        crawler = DailyCrawler(feed, changesets, Geocoder(atlas))
+        for result in crawler.crawl_new():
+            truth = truth_by_day[result.day]
+            coarsened = Counter(
+                "geometry" if r.update_type == "metadata" else r.update_type
+                for r in truth
+            )
+            crawled = Counter(r.update_type for r in result.updates)
+            assert crawled == coarsened
+
+    def test_crawl_new_is_incremental(self, atlas, crawl_setup):
+        _, feed, changesets, _, _ = crawl_setup
+        crawler = DailyCrawler(feed, changesets, Geocoder(atlas))
+        first = list(crawler.crawl_new())
+        assert len(first) == 5
+        assert list(crawler.crawl_new()) == []
+
+    def test_crawl_specific_sequence(self, atlas, crawl_setup):
+        _, feed, changesets, truth_by_day, _ = crawl_setup
+        crawler = DailyCrawler(feed, changesets, Geocoder(atlas))
+        result = crawler.crawl_sequence(2)
+        assert result.sequence == 2
+        assert result.day == date(2021, 3, 3)
+
+    def test_missing_changeset_counts_skipped(self, atlas, tmp_path):
+        """A way whose changeset is unknown is skipped, not mislocated."""
+        from repro.osm.model import OSMWay
+        from repro.osm.xml_io import OsmChange
+
+        feed = ReplicationFeed(tmp_path / "repl", "day")
+        way = OSMWay(
+            id=1,
+            version=1,
+            timestamp=datetime(2021, 1, 1, tzinfo=timezone.utc),
+            changeset=777,  # never registered
+            refs=(1, 2),
+            tags={"highway": "residential"},
+        )
+        feed.publish(
+            OsmChange(create=[way]),
+            datetime(2021, 1, 1, tzinfo=timezone.utc),
+        )
+        crawler = DailyCrawler(
+            feed, ChangesetStore(tmp_path / "cs"), Geocoder(__import__("repro.geo.zones", fromlist=["build_world"]).build_world())
+        )
+        result = next(iter(crawler.crawl_new()))
+        assert result.skipped == 1
+        assert len(result.updates) == 0
+
+
+class TestMonthlyCrawler:
+    def test_monthly_matches_truth_exactly(self, atlas, crawl_setup):
+        _, _, changesets, truth_by_day, history_path = crawl_setup
+        crawler = MonthlyCrawler(changesets, Geocoder(atlas))
+        result = crawler.crawl_month(history_path, month_key(2021, 3))
+        truth_all = [r for rows in truth_by_day.values() for r in rows]
+
+        def strip(record):
+            return (
+                record.element_type,
+                record.date,
+                record.country,
+                record.road_type,
+                record.update_type,
+                record.changeset_id,
+            )
+
+        assert Counter(map(strip, result.updates)) == Counter(map(strip, truth_all))
+        assert result.skipped == 0
+
+    def test_monthly_filters_to_target_month(self, atlas, crawl_setup):
+        _, _, changesets, _, history_path = crawl_setup
+        crawler = MonthlyCrawler(changesets, Geocoder(atlas))
+        result = crawler.crawl_month(history_path, month_key(2021, 2))
+        assert len(result.updates) == 0
+        assert result.scanned_versions > 0
+
+    def test_monthly_has_all_four_update_types(self, atlas, crawl_setup):
+        _, _, changesets, truth_by_day, history_path = crawl_setup
+        crawler = MonthlyCrawler(changesets, Geocoder(atlas))
+        result = crawler.crawl_month(history_path, month_key(2021, 3))
+        types = {r.update_type for r in result.updates}
+        assert "metadata" in types
+        assert "create" in types
+
+    def test_accepts_element_iterable(self, atlas, crawl_setup):
+        sim, _, changesets, _, _ = crawl_setup
+        crawler = MonthlyCrawler(changesets, Geocoder(atlas))
+        from repro.osm.history import write_history
+        import io as _io
+
+        # Pass the in-memory sorted element stream directly.
+        elements = sorted(
+            sim.world.history,
+            key=lambda e: ({"node": 0, "way": 1, "relation": 2}[e.kind], e.id, e.version),
+        )
+        result = crawler.crawl_month(elements, month_key(2021, 3))
+        assert len(result.updates) > 0

@@ -1,0 +1,266 @@
+"""Tests for the 4-D data cube: building, rollups, in-memory aggregation."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import day_key, week_key
+from repro.core.cube import (
+    DataCube,
+    RESOLUTION_COARSE,
+    RESOLUTION_FULL,
+    empty_like,
+    sum_cubes,
+)
+from repro.core.dimensions import default_schema
+from repro.errors import DimensionError
+
+
+@pytest.fixture()
+def cube(tiny_schema):
+    return DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+
+
+def records_strategy(schema):
+    return st.lists(
+        st.tuples(
+            st.sampled_from(schema.element_type.values),
+            st.sampled_from(schema.country.values),
+            st.sampled_from(schema.road_type.values),
+            st.sampled_from(schema.update_type.values),
+        ),
+        max_size=60,
+    )
+
+
+class TestConstruction:
+    def test_new_cube_is_zero(self, cube):
+        assert cube.total == 0
+        assert cube.counts.dtype == np.int64
+
+    def test_shape_matches_schema(self, cube, tiny_schema):
+        assert cube.counts.shape == tiny_schema.shape
+        assert cube.cell_count == tiny_schema.cell_count
+
+    def test_nbytes_is_8_per_cell(self, cube):
+        assert cube.nbytes == cube.cell_count * 8
+
+    def test_wrong_shape_rejected(self, tiny_schema):
+        with pytest.raises(DimensionError, match="shape"):
+            DataCube(
+                schema=tiny_schema,
+                key=day_key(date(2021, 1, 1)),
+                counts=np.zeros((2, 2, 2, 2)),
+            )
+
+    def test_invalid_resolution_rejected(self, tiny_schema):
+        with pytest.raises(DimensionError, match="resolution"):
+            DataCube(
+                schema=tiny_schema,
+                key=day_key(date(2021, 1, 1)),
+                resolution="fuzzy",
+            )
+
+
+class TestRecording:
+    def test_record_increments_one_cell(self, cube):
+        cube.record("way", "germany", "residential", "create")
+        assert cube.total == 1
+        assert cube.cell("way", "germany", "residential", "create") == 1
+
+    def test_record_codes(self, cube, tiny_schema):
+        coords = tiny_schema.encode("node", "qatar", "primary", "delete")
+        cube.record_codes(coords, count=3)
+        assert cube.cell("node", "qatar", "primary", "delete") == 3
+
+    def test_bulk_record_accumulates_duplicates(self, cube, tiny_schema):
+        coords = tiny_schema.encode("way", "germany", "service", "geometry")
+        batch = np.array([coords, coords, coords])
+        cube.bulk_record(batch)
+        assert cube.cell("way", "germany", "service", "geometry") == 3
+
+    def test_bulk_record_empty_shape_rejected(self, cube):
+        with pytest.raises(DimensionError):
+            cube.bulk_record(np.zeros((3, 2), dtype=np.int64))
+
+    def test_record_unknown_value_raises(self, cube):
+        with pytest.raises(DimensionError):
+            cube.record("way", "nowhere", "residential", "create")
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_total_equals_record_count(self, data):
+        schema = default_schema(["a", "b"], road_types=3)
+        cube = DataCube(schema=schema, key=day_key(date(2021, 1, 1)))
+        records = data.draw(records_strategy(schema))
+        for record in records:
+            cube.record(*record)
+        assert cube.total == len(records)
+
+
+class TestAddAndRollup:
+    def test_add_sums_counts(self, tiny_schema):
+        a = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 1)))
+        b = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 2)))
+        a.record("way", "germany", "residential", "create")
+        b.record("way", "germany", "residential", "create")
+        b.record("node", "qatar", "primary", "delete")
+        a.add(b)
+        assert a.total == 3
+        assert a.cell("way", "germany", "residential", "create") == 2
+
+    def test_add_coarse_poisons_resolution(self, tiny_schema):
+        full = DataCube(
+            schema=tiny_schema, key=day_key(date(2021, 3, 1)), resolution=RESOLUTION_FULL
+        )
+        coarse = DataCube(
+            schema=tiny_schema,
+            key=day_key(date(2021, 3, 2)),
+            resolution=RESOLUTION_COARSE,
+        )
+        full.add(coarse)
+        assert full.resolution == RESOLUTION_COARSE
+
+    def test_add_incompatible_shapes_rejected(self, tiny_schema):
+        other_schema = default_schema(["x"], road_types=2)
+        a = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 1)))
+        b = DataCube(schema=other_schema, key=day_key(date(2021, 3, 1)))
+        with pytest.raises(DimensionError):
+            a.add(b)
+
+    def test_sum_cubes_matches_manual_total(self, tiny_schema):
+        children = []
+        for day in range(1, 8):
+            child = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, day)))
+            child.record("way", "germany", "residential", "create")
+            children.append(child)
+        parent = sum_cubes(tiny_schema, week_key(2021, 3, 0), children)
+        assert parent.total == 7
+        assert parent.key == week_key(2021, 3, 0)
+
+    def test_empty_like_is_zero_with_new_key(self, cube):
+        cube.record("way", "germany", "residential", "create")
+        other = empty_like(cube, week_key(2021, 3, 0))
+        assert other.total == 0
+        assert other.key == week_key(2021, 3, 0)
+
+    def test_copy_is_independent(self, cube):
+        cube.record("way", "germany", "residential", "create")
+        duplicate = cube.copy()
+        duplicate.record("way", "germany", "residential", "create")
+        assert cube.total == 1
+        assert duplicate.total == 2
+
+    def test_equality(self, tiny_schema):
+        a = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 1)))
+        b = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 1)))
+        assert a == b
+        b.record("way", "germany", "residential", "create")
+        assert a != b
+
+
+class TestAggregation:
+    @pytest.fixture()
+    def loaded(self, tiny_schema):
+        cube = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+        cube.record("way", "germany", "residential", "create")
+        cube.record("way", "germany", "residential", "create")
+        cube.record("way", "germany", "service", "geometry")
+        cube.record("node", "qatar", "primary", "create")
+        cube.record("relation", "united_states", "residential", "metadata")
+        return cube
+
+    def test_no_filters_no_group_gives_total(self, loaded):
+        assert loaded.aggregate() == {(): 5}
+
+    def test_filter_country(self, loaded):
+        assert loaded.aggregate({"country": ["germany"]}) == {(): 3}
+
+    def test_filter_multiple_axes(self, loaded):
+        result = loaded.aggregate(
+            {"country": ["germany"], "update_type": ["create"]}
+        )
+        assert result == {(): 2}
+
+    def test_group_by_single_axis(self, loaded):
+        result = loaded.aggregate(group_by=("element_type",))
+        assert result == {("way",): 3, ("node",): 1, ("relation",): 1}
+
+    def test_group_by_two_axes_ordered(self, loaded):
+        result = loaded.aggregate(group_by=("country", "update_type"))
+        assert result[("germany", "create")] == 2
+        assert result[("qatar", "create")] == 1
+
+    def test_group_by_order_is_respected(self, loaded):
+        swapped = loaded.aggregate(group_by=("update_type", "country"))
+        assert swapped[("create", "germany")] == 2
+
+    def test_filter_and_group_combined(self, loaded):
+        result = loaded.aggregate(
+            {"element_type": ["way"]}, group_by=("road_type",)
+        )
+        assert result == {("residential",): 2, ("service",): 1}
+
+    def test_zero_groups_are_omitted(self, loaded):
+        result = loaded.aggregate(group_by=("country",))
+        assert ("united_states",) in result
+        assert all(value > 0 for value in result.values())
+
+    def test_unknown_filter_axis_raises(self, loaded):
+        with pytest.raises(DimensionError):
+            loaded.aggregate({"color": ["red"]})
+
+    def test_unknown_group_axis_raises(self, loaded):
+        with pytest.raises(DimensionError):
+            loaded.aggregate(group_by=("color",))
+
+    def test_duplicate_group_axis_raises(self, loaded):
+        with pytest.raises(DimensionError):
+            loaded.aggregate(group_by=("country", "country"))
+
+    def test_aggregate_array_matches_aggregate(self, loaded):
+        array, labels = loaded.aggregate_array(
+            {"element_type": ["way"]}, group_by=("country", "road_type")
+        )
+        as_dict = loaded.aggregate(
+            {"element_type": ["way"]}, group_by=("country", "road_type")
+        )
+        for idx, value in np.ndenumerate(array):
+            key = (labels[0][idx[0]], labels[1][idx[1]])
+            assert as_dict.get(key, 0) == int(value)
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_group_by_partitions_total(self, data):
+        """Any group-by's values sum to the filtered total (no loss)."""
+        schema = default_schema(["a", "b", "c"], road_types=4)
+        cube = DataCube(schema=schema, key=day_key(date(2021, 1, 1)))
+        for record in data.draw(records_strategy(schema)):
+            cube.record(*record)
+        axes = data.draw(
+            st.lists(
+                st.sampled_from(schema.AXES), unique=True, min_size=1, max_size=3
+            )
+        )
+        grouped = cube.aggregate(group_by=tuple(axes))
+        assert sum(grouped.values()) == cube.total
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_filters_partition_by_axis_values(self, data):
+        """Filtering each single value of an axis partitions the total."""
+        schema = default_schema(["a", "b"], road_types=3)
+        cube = DataCube(schema=schema, key=day_key(date(2021, 1, 1)))
+        for record in data.draw(records_strategy(schema)):
+            cube.record(*record)
+        axis = data.draw(st.sampled_from(schema.AXES))
+        dim = schema.dimension(axis)
+        parts = sum(
+            cube.aggregate({axis: [value]})[()] for value in dim.values
+        )
+        assert parts == cube.total

@@ -1,0 +1,409 @@
+"""Tests for the query model and the cube-backed executor, validated by
+brute-force recounting of the simulator's ground-truth rows."""
+
+from __future__ import annotations
+
+from collections import Counter
+from datetime import date
+
+import pytest
+
+from repro.core.calendar import Level, series_period_start
+from repro.core.query import AnalysisQuery, QueryResult, QueryStats
+from repro.errors import QueryError
+from tests.conftest import INGESTED_END, INGESTED_START
+
+
+def brute_force(system, query):
+    """Recount the ground truth rows with plain Python."""
+    rows = Counter()
+    for day, truth in system.truth_by_day.items():
+        if not query.start <= day <= query.end:
+            continue
+        for record in truth:
+            if (
+                query.element_types is not None
+                and record.element_type not in query.element_types
+            ):
+                continue
+            if query.road_types is not None and record.road_type not in query.road_types:
+                continue
+            if (
+                query.update_types is not None
+                and record.update_type not in query.update_types
+            ):
+                continue
+            zones = [
+                z.name for z in system.atlas.zones_for_point(record.point)
+            ]
+            if query.countries is not None:
+                zones = [z for z in zones if z in query.countries]
+                if not zones:
+                    continue
+            key_zones = zones if "country" in query.group_by else [None]
+            for zone in key_zones:
+                parts = []
+                for attribute in query.group_by:
+                    if attribute == "date":
+                        parts.append(
+                            max(
+                                series_period_start(record.date, query.date_granularity),
+                                query.start,
+                            )
+                        )
+                    elif attribute == "country":
+                        parts.append(zone)
+                    elif attribute == "road_type":
+                        # Mirror the schema's catch-all folding.
+                        schema = system.schema
+                        value = record.road_type
+                        if value not in schema.road_type:
+                            value = "other"
+                        parts.append(value)
+                    else:
+                        parts.append(getattr(record, attribute))
+                rows[tuple(parts)] += 1
+    return dict(rows)
+
+
+class TestQueryModel:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(QueryError):
+            AnalysisQuery(start=date(2021, 2, 1), end=date(2021, 1, 1))
+
+    def test_unknown_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            AnalysisQuery(
+                start=date(2021, 1, 1), end=date(2021, 1, 2), group_by=("color",)
+            )
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            AnalysisQuery(
+                start=date(2021, 1, 1),
+                end=date(2021, 1, 2),
+                group_by=("country", "country"),
+            )
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(QueryError):
+            AnalysisQuery(
+                start=date(2021, 1, 1), end=date(2021, 1, 2), metric="median"
+            )
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(QueryError):
+            AnalysisQuery(
+                start=date(2021, 1, 1), end=date(2021, 1, 2), countries=()
+            )
+
+    def test_cube_group_by_excludes_date(self):
+        query = AnalysisQuery(
+            start=date(2021, 1, 1),
+            end=date(2021, 1, 2),
+            group_by=("country", "date", "element_type"),
+        )
+        assert query.cube_group_by == ("country", "element_type")
+        assert query.groups_by_date
+
+    def test_describe_mentions_filters(self):
+        query = AnalysisQuery(
+            start=date(2021, 1, 1),
+            end=date(2021, 1, 2),
+            countries=("germany",),
+            group_by=("country",),
+        )
+        text = query.describe()
+        assert "germany" in text
+        assert "2021-01-01" in text
+
+    def test_result_table_shape(self):
+        query = AnalysisQuery(
+            start=date(2021, 1, 1), end=date(2021, 1, 2), group_by=("country",)
+        )
+        result = QueryResult(
+            query=query, rows={("germany",): 5, ("qatar",): 2}, stats=QueryStats()
+        )
+        table = result.to_table()
+        assert table[0] == {"country": "germany", "value": 5}
+        assert result.total == 7
+
+    def test_sorted_rows_by_key(self):
+        query = AnalysisQuery(
+            start=date(2021, 1, 1), end=date(2021, 1, 2), group_by=("country",)
+        )
+        result = QueryResult(query=query, rows={("b",): 1, ("a",): 2})
+        assert [k for k, _ in result.sorted_rows(by_value=False)] == [("a",), ("b",)]
+
+
+class TestExecutorEquivalence:
+    """Cube answers must equal brute-force recounts of the truth rows."""
+
+    @pytest.mark.parametrize(
+        "query_kwargs",
+        [
+            dict(),
+            dict(group_by=("element_type",)),
+            dict(group_by=("country", "element_type")),
+            dict(group_by=("road_type", "update_type")),
+            dict(countries=("germany", "qatar"), group_by=("country",)),
+            dict(element_types=("way",), group_by=("update_type",)),
+            dict(
+                countries=("europe",),
+                group_by=("country", "element_type"),
+            ),
+            dict(road_types=("residential",), group_by=("element_type",)),
+        ],
+        ids=[
+            "total",
+            "by-element",
+            "by-country-element",
+            "by-road-update",
+            "country-filtered",
+            "element-filtered",
+            "continent-zone",
+            "road-filtered",
+        ],
+    )
+    def test_matches_brute_force(self, rebuilt_system, query_kwargs):
+        query = AnalysisQuery(
+            start=INGESTED_START, end=INGESTED_END, **query_kwargs
+        )
+        result = rebuilt_system.dashboard.analysis(query)
+        expected = brute_force(rebuilt_system, query)
+        assert result.rows == expected
+
+    def test_partial_window_matches(self, rebuilt_system):
+        query = AnalysisQuery(
+            start=date(2021, 1, 10),
+            end=date(2021, 2, 13),
+            group_by=("element_type",),
+        )
+        assert rebuilt_system.dashboard.analysis(query).rows == brute_force(
+            rebuilt_system, query
+        )
+
+    @pytest.mark.parametrize("granularity", [Level.DAY, Level.WEEK, Level.MONTH])
+    def test_time_series_matches(self, rebuilt_system, granularity):
+        query = AnalysisQuery(
+            start=date(2021, 1, 5),
+            end=date(2021, 2, 20),
+            countries=("germany", "france"),
+            group_by=("country", "date"),
+            date_granularity=granularity,
+        )
+        result = rebuilt_system.dashboard.analysis(query)
+        expected = brute_force(rebuilt_system, query)
+        assert result.rows == expected
+
+    def test_coarse_vs_rebuilt_update_types(self, ingested_system, rebuilt_system):
+        """Without the monthly rebuild, metadata counts sit in geometry."""
+        query = AnalysisQuery(
+            start=INGESTED_START,
+            end=INGESTED_END,
+            group_by=("update_type",),
+        )
+        coarse = ingested_system.dashboard.analysis(query).rows
+        full = rebuilt_system.dashboard.analysis(query).rows
+        assert ("metadata",) not in coarse
+        assert full.get(("metadata",), 0) > 0
+
+
+class TestExecutorMechanics:
+    def test_cache_hits_reported(self, ingested_system):
+        ingested_system.warm_cache()
+        query = AnalysisQuery(start=date(2021, 2, 27), end=date(2021, 2, 28))
+        result = ingested_system.dashboard.analysis(query)
+        assert result.stats.cache_hits == 2
+        assert result.stats.disk_reads == 0
+
+    def test_disk_reads_reported_for_cold_window(self, ingested_system):
+        query = AnalysisQuery(start=date(2021, 1, 3), end=date(2021, 1, 5))
+        result = ingested_system.dashboard.analysis(query)
+        assert result.stats.disk_reads + result.stats.cache_hits == result.stats.cube_count
+
+    def test_simulated_time_includes_disk_latency(self, ingested_system):
+        query = AnalysisQuery(start=date(2021, 1, 3), end=date(2021, 1, 6))
+        result = ingested_system.dashboard.analysis(query)
+        if result.stats.disk_reads:
+            assert result.stats.simulated_seconds > result.stats.wall_seconds
+
+    def test_missing_days_counted(self, ingested_system):
+        query = AnalysisQuery(start=date(2021, 2, 25), end=date(2021, 3, 5))
+        result = ingested_system.dashboard.analysis(query)
+        assert result.stats.missing_days == 5
+
+    def test_plan_exposed(self, ingested_system):
+        query = AnalysisQuery(start=date(2021, 1, 1), end=date(2021, 1, 31))
+        plan = ingested_system.executor.plan(query)
+        assert plan.cube_count >= 1
+
+    def test_zero_day_series_kept(self, rebuilt_system):
+        """A day with no matching updates still appears in a pure date
+        series as a zero point."""
+        query = AnalysisQuery(
+            start=date(2021, 1, 1),
+            end=date(2021, 1, 7),
+            countries=("oceania_010",),  # a cold, rarely edited zone
+            group_by=("date",),
+        )
+        result = rebuilt_system.dashboard.analysis(query)
+        assert len(result.rows) == 7
+
+
+class TestPercentages:
+    def test_percentage_uses_network_size(self, rebuilt_system):
+        query = AnalysisQuery(
+            start=INGESTED_START,
+            end=INGESTED_END,
+            countries=("germany",),
+            group_by=("country",),
+            metric="percentage",
+        )
+        counts = rebuilt_system.dashboard.analysis(
+            AnalysisQuery(
+                start=INGESTED_START,
+                end=INGESTED_END,
+                countries=("germany",),
+                group_by=("country",),
+            )
+        )
+        pct = rebuilt_system.dashboard.analysis(query)
+        size = rebuilt_system.network_sizes.size("germany")
+        expected = 100.0 * counts.rows[("germany",)] / size
+        assert pct.rows[("germany",)] == pytest.approx(expected)
+
+    def test_percentage_without_country_group_uses_filter_denominator(
+        self, rebuilt_system
+    ):
+        query = AnalysisQuery(
+            start=INGESTED_START,
+            end=INGESTED_END,
+            countries=("germany", "france"),
+            metric="percentage",
+        )
+        result = rebuilt_system.dashboard.analysis(query)
+        denominator = rebuilt_system.network_sizes.denominator(("germany", "france"))
+        counts = rebuilt_system.dashboard.analysis(
+            AnalysisQuery(
+                start=INGESTED_START,
+                end=INGESTED_END,
+                countries=("germany", "france"),
+            )
+        )
+        assert result.rows[()] == pytest.approx(
+            100.0 * counts.rows[()] / denominator
+        )
+
+    def test_percentage_requires_registry(self, ingested_system):
+        from repro.core.executor import QueryExecutor
+
+        bare = QueryExecutor(ingested_system.index, cache=None)
+        with pytest.raises(QueryError):
+            bare.execute(
+                AnalysisQuery(
+                    start=INGESTED_START,
+                    end=INGESTED_END,
+                    metric="percentage",
+                )
+            )
+
+
+class TestNetworkSizeRegistry:
+    def test_continent_is_sum_of_countries(self, rebuilt_system):
+        registry = rebuilt_system.network_sizes
+        atlas = rebuilt_system.atlas
+        total = sum(
+            registry.size(c.name) for c in atlas.countries_of("europe")
+        )
+        assert registry.size("europe") == total
+
+    def test_state_is_even_share(self, rebuilt_system):
+        registry = rebuilt_system.network_sizes
+        usa = registry.size("united_states")
+        assert registry.size("minnesota") == max(1, usa // 50)
+
+    def test_unknown_zone_raises(self, rebuilt_system):
+        with pytest.raises(QueryError):
+            rebuilt_system.network_sizes.size("atlantis")
+
+    def test_world_denominator_skips_zones_of_interest(self, rebuilt_system):
+        registry = rebuilt_system.network_sizes
+        world = registry.denominator(None)
+        countries_total = sum(
+            registry.size(c.name) for c in rebuilt_system.atlas.countries
+        )
+        assert world == countries_total
+
+    def test_update_country_rederives_rollups(self, atlas):
+        from repro.core.percentages import NetworkSizeRegistry
+
+        registry = NetworkSizeRegistry(atlas, {"germany": 100})
+        before = registry.size("europe")
+        registry.update_country("germany", 300)
+        assert registry.size("europe") == before + 200
+
+    def test_tsv_roundtrip(self, atlas, tmp_path):
+        from repro.core.percentages import NetworkSizeRegistry
+
+        registry = NetworkSizeRegistry(atlas, {"germany": 123, "qatar": 7})
+        path = tmp_path / "sizes.tsv"
+        registry.write_tsv(path)
+        restored = NetworkSizeRegistry.read_tsv(atlas, path)
+        assert restored.size("germany") == 123
+        assert restored.size("europe") == registry.size("europe")
+
+
+class TestWindowAdditivity:
+    """Splitting a window into adjacent halves must sum to the whole —
+    the algebraic property rollup correctness hangs on."""
+
+    from hypothesis import given as _given, settings as _settings
+    from hypothesis import strategies as _st
+
+    @_given(
+        split=_st.integers(min_value=0, max_value=57),
+        group=_st.sampled_from(
+            [(), ("element_type",), ("country", "update_type")]
+        ),
+    )
+    @_settings(max_examples=20, deadline=None)
+    def test_adjacent_windows_sum_to_whole(self, rebuilt_system, split, group):
+        from datetime import timedelta
+
+        boundary = INGESTED_START + timedelta(days=split)
+        whole = rebuilt_system.dashboard.analysis(
+            AnalysisQuery(start=INGESTED_START, end=INGESTED_END, group_by=group)
+        ).rows
+        left = rebuilt_system.dashboard.analysis(
+            AnalysisQuery(start=INGESTED_START, end=boundary, group_by=group)
+        ).rows
+        right_start = boundary + timedelta(days=1)
+        right = {}
+        if right_start <= INGESTED_END:
+            right = rebuilt_system.dashboard.analysis(
+                AnalysisQuery(start=right_start, end=INGESTED_END, group_by=group)
+            ).rows
+        combined = dict(left)
+        for key, value in right.items():
+            combined[key] = combined.get(key, 0) + value
+        combined = {k: v for k, v in combined.items() if v}
+        assert combined == {k: v for k, v in whole.items() if v}
+
+    def test_single_days_sum_to_week(self, rebuilt_system):
+        from datetime import timedelta
+
+        week_start = date(2021, 1, 8)
+        week_total = rebuilt_system.dashboard.analysis(
+            AnalysisQuery(start=week_start, end=week_start + timedelta(days=6))
+        ).rows[()]
+        day_sum = sum(
+            rebuilt_system.dashboard.analysis(
+                AnalysisQuery(
+                    start=week_start + timedelta(days=i),
+                    end=week_start + timedelta(days=i),
+                )
+            ).rows[()]
+            for i in range(7)
+        )
+        assert week_total == day_sum

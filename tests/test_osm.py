@@ -1,0 +1,440 @@
+"""Tests for the OSM substrate: model, XML formats, changesets,
+history classification, and the replication feed."""
+
+from __future__ import annotations
+
+import io
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.errors import ConfigError, ParseError, StorageError
+from repro.geo.geometry import BBox
+from repro.osm.changesets import (
+    CHANGESETS_PER_FILE,
+    Changeset,
+    ChangesetStore,
+    read_changesets,
+    write_changesets,
+)
+from repro.osm.history import (
+    classify_update,
+    iter_history_updates,
+    iter_version_pairs,
+    write_history,
+)
+from repro.osm.model import (
+    OSMNode,
+    OSMRelation,
+    OSMWay,
+    RelationMember,
+    is_road_element,
+    road_type_of,
+)
+from repro.osm.replication import ReplicationFeed, sequence_path
+from repro.osm.xml_io import (
+    OsmChange,
+    format_timestamp,
+    iter_osc,
+    parse_timestamp,
+    read_osc,
+    read_osm,
+    write_osc,
+    write_osm,
+)
+
+T0 = datetime(2021, 3, 5, 12, 0, tzinfo=timezone.utc)
+T1 = datetime(2021, 3, 6, 9, 30, tzinfo=timezone.utc)
+
+
+def node(eid=1, version=1, **kwargs):
+    defaults = dict(
+        id=eid, version=version, timestamp=T0, changeset=10,
+        uid=5, user="alice", lat=40.0, lon=-100.0,
+    )
+    defaults.update(kwargs)
+    return OSMNode(**defaults)
+
+
+def way(eid=2, version=1, **kwargs):
+    defaults = dict(
+        id=eid, version=version, timestamp=T0, changeset=10,
+        uid=5, user="alice", refs=(1, 3, 4),
+        tags={"highway": "residential", "name": "Main St"},
+    )
+    defaults.update(kwargs)
+    return OSMWay(**defaults)
+
+
+def relation(eid=3, version=1, **kwargs):
+    defaults = dict(
+        id=eid, version=version, timestamp=T0, changeset=10,
+        uid=5, user="alice",
+        members=(RelationMember("way", 2, "outer"),),
+        tags={"type": "route"},
+    )
+    defaults.update(kwargs)
+    return OSMRelation(**defaults)
+
+
+class TestModel:
+    def test_kinds(self):
+        assert node().kind == "node"
+        assert way().kind == "way"
+        assert relation().kind == "relation"
+
+    def test_positive_id_required(self):
+        with pytest.raises(ConfigError):
+            node(eid=0)
+
+    def test_positive_version_required(self):
+        with pytest.raises(ConfigError):
+            node(version=0)
+
+    def test_naive_timestamp_becomes_utc(self):
+        n = node(timestamp=datetime(2021, 3, 5, 12, 0))
+        assert n.timestamp.tzinfo == timezone.utc
+
+    def test_node_coordinate_validation(self):
+        with pytest.raises(ConfigError):
+            node(lat=95.0)
+        with pytest.raises(ConfigError):
+            node(lon=-190.0)
+
+    def test_next_version_bumps(self):
+        successor = way().next_version(T1, 11, tags={"highway": "service"})
+        assert successor.version == 2
+        assert successor.changeset == 11
+        assert successor.tags == {"highway": "service"}
+
+    def test_deleted_creates_tombstone(self):
+        tombstone = way().deleted(T1, 11)
+        assert not tombstone.visible
+        assert tombstone.version == 2
+
+    def test_node_moved(self):
+        moved = node().moved(41.0, -101.0, T1, 11)
+        assert (moved.lat, moved.lon) == (41.0, -101.0)
+        assert moved.version == 2
+
+    def test_with_tags_merges(self):
+        tagged = node().with_tags(amenity="cafe")
+        assert tagged.tags["amenity"] == "cafe"
+
+    def test_relation_member_type_validated(self):
+        with pytest.raises(ConfigError):
+            RelationMember("building", 1)
+
+    def test_is_road_element(self):
+        assert is_road_element(way())
+        assert is_road_element(relation())
+        assert not is_road_element(node())
+        assert is_road_element(node(tags={"highway": "bus_stop"}))
+
+    def test_road_type_of(self):
+        assert road_type_of(way()) == "residential"
+        assert road_type_of(node()) == "residential"  # fallback
+
+
+class TestTimestamps:
+    def test_roundtrip(self):
+        assert parse_timestamp(format_timestamp(T0)) == T0
+
+    def test_bad_timestamp_raises(self):
+        with pytest.raises(ParseError):
+            parse_timestamp("2021-03-05 12:00:00")
+
+
+class TestOsmXml:
+    def test_snapshot_roundtrip(self):
+        elements = [node(), way(), relation()]
+        buffer = io.BytesIO()
+        write_osm(buffer, elements)
+        buffer.seek(0)
+        assert read_osm(buffer) == elements
+
+    def test_way_refs_preserved_in_order(self):
+        buffer = io.BytesIO()
+        write_osm(buffer, [way(refs=(9, 1, 5))])
+        buffer.seek(0)
+        assert read_osm(buffer)[0].refs == (9, 1, 5)
+
+    def test_relation_members_preserved(self):
+        members = (
+            RelationMember("way", 2, "outer"),
+            RelationMember("node", 1, "stop"),
+        )
+        buffer = io.BytesIO()
+        write_osm(buffer, [relation(members=members)])
+        buffer.seek(0)
+        assert read_osm(buffer)[0].members == members
+
+    def test_deleted_node_omits_coordinates(self):
+        buffer = io.BytesIO()
+        write_osm(buffer, [node().deleted(T1, 11)])
+        text = buffer.getvalue().decode()
+        assert 'visible="false"' in text
+        assert "lat=" not in text
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(ParseError):
+            read_osm(io.BytesIO(b"<osm><node id='1'"))
+
+    def test_unknown_timestamp_raises(self):
+        xml = b'<osm><node id="1" timestamp="bogus" lat="0" lon="0"/></osm>'
+        with pytest.raises(ParseError):
+            read_osm(io.BytesIO(xml))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "snapshot.osm"
+        write_osm(path, [node(), way()])
+        assert read_osm(path) == [node(), way()]
+
+
+class TestOsmChange:
+    def test_roundtrip_all_blocks(self):
+        change = OsmChange(create=[node()], modify=[way(version=2)], delete=[relation(version=2, visible=False)])
+        buffer = io.BytesIO()
+        write_osc(buffer, change)
+        buffer.seek(0)
+        restored = read_osc(buffer)
+        assert restored.create == change.create
+        assert restored.modify == change.modify
+        assert restored.delete == change.delete
+
+    def test_actions_order(self):
+        change = OsmChange(create=[node()], modify=[way()], delete=[relation()])
+        actions = [action for action, _ in change.actions()]
+        assert actions == ["create", "modify", "delete"]
+        assert len(change) == 3
+
+    def test_iter_osc_streams_actions(self):
+        change = OsmChange(create=[node(), way()], delete=[relation()])
+        buffer = io.BytesIO()
+        write_osc(buffer, change)
+        buffer.seek(0)
+        pairs = list(iter_osc(buffer))
+        assert [(a, e.kind) for a, e in pairs] == [
+            ("create", "node"),
+            ("create", "way"),
+            ("delete", "relation"),
+        ]
+
+    def test_element_outside_block_raises(self):
+        xml = (
+            b'<osmChange version="0.6">'
+            b'<node id="1" timestamp="2021-03-05T12:00:00Z" lat="0" lon="0"/>'
+            b"</osmChange>"
+        )
+        with pytest.raises(ParseError, match="outside"):
+            list(iter_osc(io.BytesIO(xml)))
+
+    def test_extend(self):
+        a = OsmChange(create=[node()])
+        b = OsmChange(delete=[way()])
+        a.extend(b)
+        assert len(a) == 2
+
+
+class TestChangesets:
+    def make(self, cid=10, with_bbox=True):
+        return Changeset(
+            id=cid,
+            created_at=T0,
+            closed_at=T1,
+            uid=5,
+            user="alice",
+            bbox=BBox(-101, 39, -99, 41) if with_bbox else None,
+            tags={"comment": "survey", "source": "gps"},
+            changes_count=3,
+        )
+
+    def test_xml_roundtrip(self):
+        buffer = io.BytesIO()
+        write_changesets(buffer, [self.make()])
+        buffer.seek(0)
+        restored = list(read_changesets(buffer))[0]
+        assert restored == self.make()
+        assert restored.comment == "survey"
+        assert restored.source == "gps"
+
+    def test_roundtrip_without_bbox(self):
+        buffer = io.BytesIO()
+        write_changesets(buffer, [self.make(with_bbox=False)])
+        buffer.seek(0)
+        assert list(read_changesets(buffer))[0].bbox is None
+
+    def test_store_blocks_by_thousand(self, tmp_path):
+        store = ChangesetStore(tmp_path)
+        store.add(self.make(cid=5))
+        store.add(self.make(cid=999))
+        store.add(self.make(cid=1000))
+        assert store.flush() == 2
+        assert store.file_count() == 2
+
+    def test_store_lookup(self, tmp_path):
+        store = ChangesetStore(tmp_path)
+        store.add(self.make(cid=42))
+        store.flush()
+        assert store.lookup(42).id == 42
+        assert store.lookup(41) is None
+
+    def test_pending_lookup_before_flush(self, tmp_path):
+        store = ChangesetStore(tmp_path)
+        store.add(self.make(cid=7))
+        assert store.lookup(7) is not None
+
+    def test_flush_merges_block_files(self, tmp_path):
+        store = ChangesetStore(tmp_path)
+        store.add(self.make(cid=1))
+        store.flush()
+        store.add(self.make(cid=2))
+        store.flush()
+        fresh = ChangesetStore(tmp_path)
+        assert fresh.lookup(1) is not None
+        assert fresh.lookup(2) is not None
+
+    def test_iteration_sorted(self, tmp_path):
+        store = ChangesetStore(tmp_path)
+        for cid in (1500, 3, 999):
+            store.add(self.make(cid=cid))
+        store.flush()
+        assert [c.id for c in store] == [3, 999, 1500]
+
+    def test_constant(self):
+        assert CHANGESETS_PER_FILE == 1000
+
+
+class TestHistoryClassification:
+    def test_first_version_is_create(self):
+        assert classify_update(None, node()) == "create"
+
+    def test_truncated_history_first_seen_is_geometry(self):
+        assert classify_update(None, node(version=4)) == "geometry"
+
+    def test_tombstone_is_delete(self):
+        previous = way()
+        assert classify_update(previous, previous.deleted(T1, 11)) == "delete"
+
+    def test_node_move_is_geometry(self):
+        previous = node()
+        assert classify_update(previous, previous.moved(41, -100, T1, 11)) == "geometry"
+
+    def test_way_refs_change_is_geometry(self):
+        previous = way()
+        current = previous.with_refs((1, 3, 4, 9), T1, 11)
+        assert classify_update(previous, current) == "geometry"
+
+    def test_relation_members_change_is_geometry(self):
+        previous = relation()
+        current = previous.with_members(
+            (RelationMember("way", 2, "outer"), RelationMember("way", 5, "")),
+            T1,
+            11,
+        )
+        assert classify_update(previous, current) == "geometry"
+
+    def test_tag_change_is_metadata(self):
+        previous = way()
+        current = previous.next_version(T1, 11, tags={"highway": "service"})
+        assert classify_update(previous, current) == "metadata"
+
+    def test_geometry_wins_over_metadata(self):
+        previous = node()
+        current = previous.next_version(
+            T1, 11, lat=41.0, tags={"amenity": "cafe"}
+        )
+        assert classify_update(previous, current) == "geometry"
+
+    def test_mismatched_pair_rejected(self):
+        with pytest.raises(ParseError):
+            classify_update(node(eid=1), node(eid=2, version=2))
+
+
+class TestVersionPairs:
+    def test_pairs_group_by_element(self):
+        n1, n2 = node(), node(version=2, timestamp=T1)
+        w1 = way()
+        pairs = list(iter_version_pairs([n1, n2, w1]))
+        assert pairs == [(None, n1), (n1, n2), (None, w1)]
+
+    def test_non_increasing_version_rejected(self):
+        with pytest.raises(ParseError, match="non-increasing"):
+            list(iter_version_pairs([node(version=2), node(version=2)]))
+
+    def test_unsorted_stream_rejected(self):
+        with pytest.raises(ParseError, match="not sorted"):
+            list(iter_version_pairs([way(), node()]))  # way before node
+
+    def test_history_file_roundtrip(self, tmp_path):
+        path = tmp_path / "history.osm"
+        n1 = node()
+        n2 = n1.moved(41, -100, T1, 11)
+        w1 = way()
+        write_history(path, [w1, n2, n1])  # writer sorts
+        updates = list(iter_history_updates(path))
+        assert [(u.update_type, u.element.kind) for u in updates] == [
+            ("create", "node"),
+            ("geometry", "node"),
+            ("create", "way"),
+        ]
+        assert updates[1].previous == n1
+
+
+class TestReplication:
+    def test_sequence_path_format(self):
+        assert sequence_path(0) == "000/000/000"
+        assert sequence_path(1234567) == "001/234/567"
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(StorageError):
+            sequence_path(-1)
+
+    def test_publish_and_fetch(self, tmp_path):
+        feed = ReplicationFeed(tmp_path, "day")
+        change = OsmChange(create=[node()])
+        seq = feed.publish(change, T0)
+        assert seq == 0
+        assert feed.current_sequence() == 0
+        fetched = feed.fetch(0)
+        assert fetched.create == [node()]
+
+    def test_sequences_increment(self, tmp_path):
+        feed = ReplicationFeed(tmp_path, "day")
+        assert feed.publish(OsmChange(), T0) == 0
+        assert feed.publish(OsmChange(), T1) == 1
+
+    def test_state_carries_timestamp(self, tmp_path):
+        feed = ReplicationFeed(tmp_path, "day")
+        feed.publish(OsmChange(), T0)
+        seq, stamp = feed.state(0)
+        assert (seq, stamp) == (0, T0.replace(second=0, microsecond=0))
+
+    def test_iter_since(self, tmp_path):
+        feed = ReplicationFeed(tmp_path, "day")
+        for stamp in (T0, T1):
+            feed.publish(OsmChange(create=[node()]), stamp)
+        replayed = list(feed.iter_since(None))
+        assert [s for s, _, _ in replayed] == [0, 1]
+        assert list(feed.iter_since(0))[0][0] == 1
+        assert list(feed.iter_since(1)) == []
+
+    def test_empty_feed(self, tmp_path):
+        feed = ReplicationFeed(tmp_path, "day")
+        assert feed.current_sequence() is None
+        assert list(feed.iter_since(None)) == []
+
+    def test_fetch_missing_raises(self, tmp_path):
+        feed = ReplicationFeed(tmp_path, "day")
+        with pytest.raises(StorageError):
+            feed.fetch(3)
+
+    def test_bad_granularity_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            ReplicationFeed(tmp_path, "weekly")
+
+    def test_granularities_are_separate(self, tmp_path):
+        day = ReplicationFeed(tmp_path, "day")
+        hour = ReplicationFeed(tmp_path, "hour")
+        day.publish(OsmChange(), T0)
+        assert hour.current_sequence() is None

@@ -1,0 +1,212 @@
+"""Tests for the paper-dialect SQL parser, including to_sql roundtrips."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.sqlgen import to_sql
+from repro.baseline.sqlparse import parse_sql
+from repro.core.query import AnalysisQuery
+from repro.errors import QueryError
+
+
+class TestPaperExamples:
+    def test_example_1(self):
+        query = parse_sql(
+            """
+            SELECT U.Country, U.ElementType, COUNT(*)
+            FROM UpdateList U
+            WHERE U.Date BETWEEN 2021-01-01 AND 2021-12-31
+              AND U.UpdateType IN [New, Update]
+            GROUP BY U.Country, U.ElementType
+            """
+        )
+        assert query.start == date(2021, 1, 1)
+        assert query.end == date(2021, 12, 31)
+        assert query.update_types == ("create", "geometry")
+        assert query.group_by == ("country", "element_type")
+        assert query.metric == "count"
+
+    def test_example_2_with_after(self):
+        query = parse_sql(
+            """
+            SELECT U.RoadType, U.ElementType, COUNT(*)
+            FROM UpdateList U
+            WHERE U.Date AFTER 2018-01-01
+              AND U.Country = USA
+              AND U.UpdateType IN [New, Update]
+            GROUP BY U.RoadType, U.ElementType
+            """,
+            default_end=date(2021, 12, 31),
+        )
+        assert query.start == date(2018, 1, 1)
+        assert query.end == date(2021, 12, 31)
+        assert query.countries == ("usa",)
+        assert query.group_by == ("road_type", "element_type")
+
+    def test_example_3_percentage(self):
+        query = parse_sql(
+            """
+            SELECT U.Country, U.Date, Percentage(*)
+            FROM UpdateList U
+            WHERE U.Date BETWEEN 2020-01-01 AND 2021-12-31
+              AND U.Country IN [Germany, Singapore, Qatar]
+            GROUP BY U.Country, U.Date
+            """
+        )
+        assert query.metric == "percentage"
+        assert query.countries == ("germany", "singapore", "qatar")
+        assert query.group_by == ("country", "date")
+
+
+class TestParserDetails:
+    def test_plain_count_without_group(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31"
+        )
+        assert query.group_by == ()
+
+    def test_titlecase_values_become_snake_case(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+            "AND U.Country IN [UnitedStates, SouthKorea]"
+        )
+        assert query.countries == ("united_states", "south_korea")
+
+    def test_snake_case_values_pass_through(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+            "AND U.Country = united_states"
+        )
+        assert query.countries == ("united_states",)
+
+    def test_element_type_values(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+            "AND U.ElementType IN [Node, Way]"
+        )
+        assert query.element_types == ("node", "way")
+
+    def test_update_type_synonyms(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+            "AND U.UpdateType IN [Delete, MetadataUpdate]"
+        )
+        assert query.update_types == ("delete", "metadata")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT COUNT(*) FROM Elsewhere WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-02")
+
+    def test_missing_date_predicate_rejected(self):
+        with pytest.raises(QueryError, match="Date"):
+            parse_sql(
+                "SELECT COUNT(*) FROM UpdateList U WHERE U.Country = Germany"
+            )
+
+    def test_after_without_default_end_rejected(self):
+        with pytest.raises(QueryError, match="default_end"):
+            parse_sql(
+                "SELECT COUNT(*) FROM UpdateList U WHERE U.Date AFTER 2020-01-01"
+            )
+
+    def test_select_group_mismatch_rejected(self):
+        with pytest.raises(QueryError, match="must match"):
+            parse_sql(
+                "SELECT U.Country, COUNT(*) FROM UpdateList U "
+                "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+                "GROUP BY U.ElementType"
+            )
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(QueryError, match="COUNT"):
+            parse_sql(
+                "SELECT U.Country FROM UpdateList U "
+                "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+                "GROUP BY U.Country"
+            )
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(QueryError, match="attribute"):
+            parse_sql(
+                "SELECT COUNT(*) FROM UpdateList U "
+                "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+                "AND U.Color = Red"
+            )
+
+    def test_unknown_element_type_rejected(self):
+        with pytest.raises(QueryError, match="ElementType"):
+            parse_sql(
+                "SELECT COUNT(*) FROM UpdateList U "
+                "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+                "AND U.ElementType = Building"
+            )
+
+    def test_empty_in_list_rejected(self):
+        with pytest.raises(QueryError, match="empty"):
+            parse_sql(
+                "SELECT COUNT(*) FROM UpdateList U "
+                "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+                "AND U.Country IN []"
+            )
+
+    def test_unsupported_condition_rejected(self):
+        with pytest.raises(QueryError, match="unsupported"):
+            parse_sql(
+                "SELECT COUNT(*) FROM UpdateList U "
+                "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-31 "
+                "AND U.Country LIKE 'ger%'"
+            )
+
+
+SIMPLE_NAMES = st.sampled_from(
+    ["germany", "qatar", "france", "brazil", "india", "vietnam"]
+)
+ROAD_NAMES = st.sampled_from(["residential", "service", "primary", "track"])
+UPDATE_NAMES = st.sampled_from(["create", "geometry", "delete", "metadata"])
+ELEMENT_NAMES = st.sampled_from(["node", "way", "relation"])
+ATTRS = st.lists(
+    st.sampled_from(["element_type", "date", "country", "road_type", "update_type"]),
+    unique=True,
+    max_size=3,
+).map(tuple)
+
+
+class TestRoundtrip:
+    @given(
+        st.dates(min_value=date(2010, 1, 1), max_value=date(2020, 1, 1)),
+        st.integers(min_value=0, max_value=700),
+        st.none() | st.lists(SIMPLE_NAMES, min_size=1, max_size=3, unique=True).map(tuple),
+        st.none() | st.lists(ROAD_NAMES, min_size=1, max_size=2, unique=True).map(tuple),
+        st.none() | st.lists(UPDATE_NAMES, min_size=1, max_size=4, unique=True).map(tuple),
+        st.none() | st.lists(ELEMENT_NAMES, min_size=1, max_size=3, unique=True).map(tuple),
+        ATTRS,
+        st.sampled_from(["count", "percentage"]),
+    )
+    @settings(max_examples=60)
+    def test_parse_inverts_to_sql(
+        self, start, span, countries, roads, updates, elements, group_by, metric
+    ):
+        """parse_sql(to_sql(q)) == q for snake-case-safe value names."""
+        from datetime import timedelta
+
+        query = AnalysisQuery(
+            start=start,
+            end=start + timedelta(days=span),
+            countries=countries,
+            road_types=roads,
+            update_types=updates,
+            element_types=elements,
+            group_by=group_by,
+            metric=metric,
+        )
+        assert parse_sql(to_sql(query)) == query

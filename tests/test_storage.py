@@ -1,0 +1,293 @@
+"""Tests for page stores, the simulated disk, and cube serialization."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import day_key, month_key, week_key, year_key
+from repro.core.cube import DataCube, RESOLUTION_COARSE
+from repro.errors import ConfigError, PageCorruptError, PageNotFoundError
+from repro.storage.disk import DirectoryDisk, InMemoryDisk
+from repro.storage.serializer import (
+    HEADER_SIZE,
+    cube_page_size,
+    deserialize_cube,
+    serialize_cube,
+)
+
+
+class TestDiskStats:
+    def test_initial_stats_zero(self):
+        disk = InMemoryDisk()
+        assert disk.stats.reads == 0
+        assert disk.stats.writes == 0
+        assert disk.stats.simulated_seconds == 0.0
+
+    def test_read_write_counters(self):
+        disk = InMemoryDisk(read_latency=0.004, write_latency=0.006)
+        disk.write("a", b"xyz")
+        disk.read("a")
+        disk.read("a")
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+        assert disk.stats.bytes_written == 3
+        assert disk.stats.bytes_read == 6
+        assert disk.stats.simulated_seconds == pytest.approx(0.006 + 2 * 0.004)
+
+    def test_snapshot_delta(self):
+        disk = InMemoryDisk()
+        disk.write("a", b"x")
+        before = disk.stats.snapshot()
+        disk.read("a")
+        delta = disk.stats.delta(before)
+        assert delta.reads == 1
+        assert delta.writes == 0
+
+    def test_reset_stats(self):
+        disk = InMemoryDisk()
+        disk.write("a", b"x")
+        disk.reset_stats()
+        assert disk.stats.total_ios == 0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            InMemoryDisk(read_latency=-1)
+
+
+class TestInMemoryDisk:
+    def test_roundtrip(self):
+        disk = InMemoryDisk()
+        disk.write("cube/a", b"hello")
+        assert disk.read("cube/a") == b"hello"
+
+    def test_missing_page_raises(self):
+        disk = InMemoryDisk()
+        with pytest.raises(PageNotFoundError):
+            disk.read("nope")
+
+    def test_overwrite(self):
+        disk = InMemoryDisk()
+        disk.write("a", b"1")
+        disk.write("a", b"22")
+        assert disk.read("a") == b"22"
+
+    def test_delete(self):
+        disk = InMemoryDisk()
+        disk.write("a", b"1")
+        disk.delete("a")
+        assert "a" not in disk
+        with pytest.raises(PageNotFoundError):
+            disk.delete("a")
+
+    def test_list_pages_sorted_with_prefix(self):
+        disk = InMemoryDisk()
+        for page_id in ("b/2", "a/1", "b/1"):
+            disk.write(page_id, b"x")
+        assert list(disk.list_pages("b/")) == ["b/1", "b/2"]
+        assert disk.page_count() == 3
+
+    def test_stored_bytes(self):
+        disk = InMemoryDisk()
+        disk.write("a", b"12345")
+        disk.write("b", b"1")
+        assert disk.stored_bytes == 6
+
+
+class TestDirectoryDisk:
+    def test_roundtrip_and_persistence(self, tmp_path):
+        disk = DirectoryDisk(tmp_path / "pages")
+        disk.write("cubes/D2021-01-01", b"payload")
+        reopened = DirectoryDisk(tmp_path / "pages")
+        assert reopened.read("cubes/D2021-01-01") == b"payload"
+
+    def test_missing_page_raises(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        with pytest.raises(PageNotFoundError):
+            disk.read("ghost")
+
+    def test_nested_ids_become_directories(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        disk.write("warehouse/heap/00000001", b"x")
+        assert (tmp_path / "warehouse" / "heap" / "00000001.page").exists()
+
+    def test_list_pages(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        disk.write("a/1", b"x")
+        disk.write("a/2", b"x")
+        disk.write("b/1", b"x")
+        assert list(disk.list_pages("a/")) == ["a/1", "a/2"]
+
+    def test_delete(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        disk.write("a", b"x")
+        disk.delete("a")
+        assert "a" not in disk
+
+    def test_path_traversal_rejected(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        with pytest.raises(ConfigError):
+            disk.write("../evil", b"x")
+        with pytest.raises(ConfigError):
+            disk.write("/abs", b"x")
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        disk.write("a", b"one")
+        disk.write("a", b"two")
+        assert disk.read("a") == b"two"
+        assert not list((tmp_path).rglob("*.tmp"))
+
+    def test_stored_bytes(self, tmp_path):
+        disk = DirectoryDisk(tmp_path)
+        disk.write("a", b"12345")
+        assert disk.stored_bytes == 5
+
+
+class TestSerializer:
+    def _cube(self, schema, key=None, resolution="full"):
+        cube = DataCube(
+            schema=schema,
+            key=key or day_key(date(2021, 3, 5)),
+            resolution=resolution,
+        )
+        cube.record("way", "germany", "residential", "create")
+        cube.record("node", "qatar", "primary", "geometry")
+        return cube
+
+    def test_roundtrip(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        assert deserialize_cube(serialize_cube(cube), tiny_schema) == cube
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            day_key(date(2021, 3, 5)),
+            week_key(2021, 3, 2),
+            month_key(2021, 3),
+            year_key(2021),
+        ],
+    )
+    def test_roundtrip_all_levels(self, tiny_schema, key):
+        cube = DataCube(schema=tiny_schema, key=key)
+        assert deserialize_cube(serialize_cube(cube), tiny_schema).key == key
+
+    def test_roundtrip_preserves_resolution(self, tiny_schema):
+        cube = self._cube(tiny_schema, resolution=RESOLUTION_COARSE)
+        assert (
+            deserialize_cube(serialize_cube(cube), tiny_schema).resolution
+            == RESOLUTION_COARSE
+        )
+
+    def test_page_size_formula(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        data = serialize_cube(cube)
+        assert len(data) == cube_page_size(tiny_schema)
+        assert len(data) == HEADER_SIZE + tiny_schema.cell_count * 8
+
+    def test_paper_scale_page_is_about_4mb(self):
+        from repro.core.dimensions import paper_scale_schema
+
+        size = cube_page_size(paper_scale_schema())
+        assert size == pytest.approx(540_000 * 8, rel=0.01)
+
+    def test_bad_magic_rejected(self, tiny_schema):
+        data = bytearray(serialize_cube(self._cube(tiny_schema)))
+        data[:4] = b"NOPE"
+        with pytest.raises(PageCorruptError, match="magic"):
+            deserialize_cube(bytes(data), tiny_schema)
+
+    def test_truncated_page_rejected(self, tiny_schema):
+        data = serialize_cube(self._cube(tiny_schema))
+        with pytest.raises(PageCorruptError):
+            deserialize_cube(data[: HEADER_SIZE - 1], tiny_schema)
+
+    def test_truncated_payload_rejected(self, tiny_schema):
+        data = serialize_cube(self._cube(tiny_schema))
+        with pytest.raises(PageCorruptError, match="payload"):
+            deserialize_cube(data[:-8], tiny_schema)
+
+    def test_flipped_bit_fails_checksum(self, tiny_schema):
+        data = bytearray(serialize_cube(self._cube(tiny_schema)))
+        data[HEADER_SIZE + 3] ^= 0xFF
+        with pytest.raises(PageCorruptError, match="checksum"):
+            deserialize_cube(bytes(data), tiny_schema)
+
+    def test_schema_mismatch_rejected(self, tiny_schema):
+        from repro.core.dimensions import default_schema
+
+        other = default_schema(["only"], road_types=2)
+        data = serialize_cube(self._cube(tiny_schema))
+        with pytest.raises(PageCorruptError, match="shape"):
+            deserialize_cube(data, other)
+
+    def test_compressed_roundtrip(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        data = serialize_cube(cube, compress=True)
+        assert deserialize_cube(data, tiny_schema) == cube
+
+    def test_compressed_page_is_smaller_for_sparse_cube(self, tiny_schema):
+        cube = self._cube(tiny_schema)  # 3 nonzero cells out of 288
+        raw = serialize_cube(cube, compress=False)
+        packed = serialize_cube(cube, compress=True)
+        assert len(packed) < len(raw) / 2
+
+    def test_compressed_corruption_detected(self, tiny_schema):
+        data = bytearray(serialize_cube(self._cube(tiny_schema), compress=True))
+        data[HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(PageCorruptError):
+            deserialize_cube(bytes(data), tiny_schema)
+
+    def test_compressed_checksum_validates_raw_payload(self, tiny_schema):
+        """The CRC covers the uncompressed cells, so decompression that
+        'succeeds' with wrong content still fails verification."""
+        cube = self._cube(tiny_schema)
+        import zlib as _zlib
+
+        other = cube.copy()
+        other.record("way", "qatar", "service", "delete")
+        data = bytearray(serialize_cube(cube, compress=True))
+        # Swap in another cube's compressed payload under cube's header.
+        import numpy as _np
+
+        foreign = _zlib.compress(
+            _np.ascontiguousarray(other.counts, dtype="<i8").tobytes()
+        )
+        data = bytes(data[:HEADER_SIZE]) + foreign
+        with pytest.raises(PageCorruptError, match="checksum"):
+            deserialize_cube(data, tiny_schema)
+
+    def test_index_reads_mixed_compression(self, tiny_schema):
+        """An index can read raw pages written before compression was
+        enabled and compressed ones after — format is self-describing."""
+        from repro.core.hierarchy import HierarchicalIndex
+        from repro.storage.disk import InMemoryDisk
+
+        disk = InMemoryDisk(read_latency=0, write_latency=0)
+        raw_index = HierarchicalIndex(tiny_schema, disk, compress=False)
+        cube_a = self._cube(tiny_schema, key=day_key(date(2021, 1, 1)))
+        raw_index.put(cube_a)
+        packed_index = HierarchicalIndex(tiny_schema, disk, compress=True)
+        cube_b = self._cube(tiny_schema, key=day_key(date(2021, 1, 2)))
+        packed_index.put(cube_b)
+        assert packed_index.get(cube_a.key) == cube_a
+        assert packed_index.get(cube_b.key) == cube_b
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30))
+    @settings(max_examples=25)
+    def test_roundtrip_arbitrary_counts(self, values):
+        import numpy as np
+        from repro.core.dimensions import default_schema
+
+        tiny_schema = default_schema(
+            ["united_states", "germany", "qatar"], road_types=8
+        )
+        cube = DataCube(schema=tiny_schema, key=day_key(date(2021, 1, 2)))
+        flat = cube.counts.reshape(-1)
+        for index, value in enumerate(values):
+            flat[index % flat.size] = value
+        restored = deserialize_cube(serialize_cube(cube), tiny_schema)
+        assert np.array_equal(restored.counts, cube.counts)

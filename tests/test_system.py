@@ -1,0 +1,179 @@
+"""End-to-end integration tests for the assembled RASED deployment."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.core.calendar import month_key
+from repro.core.query import AnalysisQuery
+from repro.storage.disk import DirectoryDisk, InMemoryDisk
+from repro.synth.simulator import SimulationConfig
+from repro.system import RasedSystem, SystemConfig
+from tests.conftest import INGESTED_END, INGESTED_START
+
+
+def fast_config(**sim_overrides):
+    sim = dict(seed=21, mapper_count=20, base_sessions_per_day=5, nodes_per_country=8)
+    sim.update(sim_overrides)
+    return SystemConfig(
+        road_types=8, cache_slots=12, simulation=SimulationConfig(**sim)
+    )
+
+
+class TestIngestedSystem:
+    def test_daily_cubes_cover_span(self, ingested_system):
+        coverage = ingested_system.index.coverage()
+        assert coverage == (INGESTED_START, INGESTED_END)
+
+    def test_rollups_materialized(self, ingested_system):
+        assert ingested_system.index.has(month_key(2021, 1))
+        assert ingested_system.index.has(month_key(2021, 2))
+
+    def test_index_totals_match_truth(self, ingested_system):
+        query = AnalysisQuery(start=INGESTED_START, end=INGESTED_END)
+        total = ingested_system.dashboard.analysis(query).rows[()]
+        truth_total = sum(
+            len(rows) for rows in ingested_system.truth_by_day.values()
+        )
+        assert total == truth_total
+
+    def test_warehouse_row_count_matches_truth(self, ingested_system):
+        truth_total = sum(
+            len(rows) for rows in ingested_system.truth_by_day.values()
+        )
+        assert ingested_system.warehouse.row_count == truth_total
+
+    def test_pipeline_rerun_is_idempotent(self, ingested_system):
+        """crawl_new() after everything is ingested does nothing."""
+        report = ingested_system.pipeline.run_daily()
+        assert report.days_processed == 0
+        assert report.updates_indexed == 0
+
+
+class TestMonthlyRebuildIntegration:
+    def test_rebuilt_cubes_are_full_resolution(self, rebuilt_system):
+        cube = rebuilt_system.index.get(month_key(2021, 1))
+        assert cube.resolution == "full"
+
+    def test_rebuild_preserves_totals(self, rebuilt_system):
+        """Reclassification changes update types, never counts."""
+        query = AnalysisQuery(start=INGESTED_START, end=INGESTED_END)
+        total = rebuilt_system.dashboard.analysis(query).rows[()]
+        truth_total = sum(
+            len(rows) for rows in rebuilt_system.truth_by_day.values()
+        )
+        assert total == truth_total
+
+    def test_rebuilt_types_match_truth(self, rebuilt_system):
+        from collections import Counter
+
+        query = AnalysisQuery(
+            start=INGESTED_START, end=INGESTED_END, group_by=("update_type",)
+        )
+        rows = rebuilt_system.dashboard.analysis(query).rows
+        truth = Counter(
+            record.update_type
+            for rows_ in rebuilt_system.truth_by_day.values()
+            for record in rows_
+        )
+        assert {k[0]: v for k, v in rows.items()} == dict(truth)
+
+
+class TestPersistence:
+    def test_directory_backed_system_survives_restart(self, atlas, tmp_path):
+        disk = DirectoryDisk(tmp_path / "pages", read_latency=0, write_latency=0)
+        system = RasedSystem.create(
+            root=tmp_path / "feeds",
+            atlas=atlas,
+            store=disk,
+            config=fast_config(),
+        )
+        system.simulate_and_ingest(date(2021, 1, 1), date(2021, 1, 14))
+        query = AnalysisQuery(
+            start=date(2021, 1, 1), end=date(2021, 1, 14), group_by=("element_type",)
+        )
+        before = system.dashboard.analysis(query).rows
+
+        # "Restart": a fresh system over the same page directory.
+        disk2 = DirectoryDisk(tmp_path / "pages", read_latency=0, write_latency=0)
+        reopened = RasedSystem.create(
+            root=tmp_path / "feeds",
+            atlas=atlas,
+            store=disk2,
+            config=fast_config(),
+        )
+        assert reopened.dashboard.analysis(query).rows == before
+        # Warehouse-backed sample queries also survive.
+        samples = reopened.dashboard.sample_updates("germany", n=3)
+        assert isinstance(samples, list)
+
+    def test_incremental_catchup_after_restart(self, atlas, tmp_path):
+        disk = DirectoryDisk(tmp_path / "pages", read_latency=0, write_latency=0)
+        system = RasedSystem.create(
+            root=tmp_path / "feeds", atlas=atlas, store=disk, config=fast_config()
+        )
+        system.simulate_and_ingest(date(2021, 1, 1), date(2021, 1, 7))
+
+        # New diffs arrive while the dashboard is down.
+        for offset in range(7, 10):
+            system.publish_day(date(2021, 1, 1 + offset))
+
+        reopened = RasedSystem.create(
+            root=tmp_path / "feeds",
+            atlas=atlas,
+            store=DirectoryDisk(tmp_path / "pages", read_latency=0, write_latency=0),
+            config=fast_config(),
+        )
+        report = reopened.pipeline.run_daily()
+        assert report.days_processed == 3
+        assert reopened.index.coverage() == (date(2021, 1, 1), date(2021, 1, 10))
+
+
+class TestCacheFreshness:
+    def test_maintenance_refreshes_cached_cubes(self, atlas):
+        system = RasedSystem.create(
+            atlas=atlas,
+            store=InMemoryDisk(read_latency=0, write_latency=0),
+            config=fast_config(seed=33),
+        )
+        system.simulate_and_ingest(date(2021, 1, 1), date(2021, 1, 31))
+        system.warm_cache()
+        january = AnalysisQuery(start=date(2021, 1, 1), end=date(2021, 1, 31))
+        before = system.dashboard.analysis(january).rows[()]
+
+        # A monthly rebuild rewrites cubes the cache holds; answers must
+        # reflect the rebuilt (identical-total) cubes, not stale ones.
+        system.simulate_and_ingest(
+            date(2021, 2, 1), date(2021, 2, 1), monthly_rebuild=False
+        )
+        import tempfile
+        from pathlib import Path
+
+        history = Path(tempfile.mkstemp(suffix=".osm")[1])
+        try:
+            system.simulator.write_history_dump(history)
+            system.pipeline.run_monthly(history, month_key(2021, 1))
+        finally:
+            history.unlink()
+        after = system.dashboard.analysis(january).rows[()]
+        assert after == before
+
+    def test_warm_cache_reports_resident_count(self, ingested_system):
+        loaded = ingested_system.warm_cache()
+        assert loaded == ingested_system.cache.cached_count > 0
+
+
+class TestIngestReports:
+    def test_report_aggregates_across_days(self, atlas):
+        system = RasedSystem.create(
+            atlas=atlas,
+            store=InMemoryDisk(read_latency=0, write_latency=0),
+            config=fast_config(seed=44),
+        )
+        report = system.simulate_and_ingest(date(2021, 3, 1), date(2021, 3, 7))
+        assert report.days_processed == 7
+        assert report.updates_indexed > 0
+        assert report.warehouse_rows == report.updates_indexed
+        assert len(report.cubes_written) >= 8  # 7 dailies + 1 weekly

@@ -31,7 +31,13 @@ from repro.storage.disk import InMemoryDisk
 from repro.synth.simulator import SimulationConfig
 from repro.system import RasedSystem, SystemConfig
 
+from common import write_result_json
+
 SPAN = (date(2021, 1, 1), date(2021, 4, 30))
+
+#: Per-figure query stats collected across the module's benches and
+#: flushed (with the system's metrics registry) to results JSON.
+_RESULTS: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="module")
@@ -51,7 +57,21 @@ def system():
     )
     deployment.simulate_and_ingest(*SPAN, monthly_rebuild=True)
     deployment.warm_cache()
-    return deployment
+    yield deployment
+    write_result_json(
+        "bench_examples_queries", _RESULTS, registry=deployment.metrics
+    )
+
+
+def _record(figure: str, result) -> None:
+    _RESULTS[figure] = {
+        "simulated_ms": result.stats.simulated_ms,
+        "wall_ms": result.stats.wall_seconds * 1000.0,
+        "cube_count": result.stats.cube_count,
+        "cache_hits": result.stats.cache_hits,
+        "disk_reads": result.stats.disk_reads,
+        "trace": result.stats.trace.to_dict() if result.stats.trace else None,
+    }
 
 
 def example1_query() -> AnalysisQuery:
@@ -65,6 +85,7 @@ def example1_query() -> AnalysisQuery:
 
 def bench_fig2_fig3_country_analysis(benchmark, system):
     result = benchmark(lambda: system.dashboard.analysis(example1_query()))
+    _record("fig2_fig3", result)
 
     print()
     print("SQL (paper Example 1):")
@@ -106,6 +127,7 @@ def bench_fig4_road_type_analysis(benchmark, system):
         group_by=("road_type", "element_type"),
     )
     result = benchmark(lambda: system.dashboard.analysis(query))
+    _record("fig4", result)
 
     print()
     print("SQL (paper Example 2):")
@@ -135,6 +157,7 @@ def bench_fig5_time_series_comparison(benchmark, system):
         date_granularity=Level.WEEK,
     )
     result = benchmark(lambda: system.dashboard.analysis(query))
+    _record("fig5", result)
 
     print()
     print("SQL (paper Example 3):")

@@ -19,8 +19,10 @@ wall times are reported alongside for the curious.
 
 from __future__ import annotations
 
+import json
 import random
 from datetime import date, timedelta
+from pathlib import Path
 
 from repro.core.cache import CacheManager, CacheRatios
 from repro.core.dimensions import CubeSchema, default_schema
@@ -29,8 +31,12 @@ from repro.core.hierarchy import HierarchicalIndex
 from repro.core.optimizer import FlatPlanner, LevelOptimizer
 from repro.core.query import AnalysisQuery
 from repro.collection.records import UpdateList, UpdateRecord
+from repro.obs import MetricsRegistry, get_registry
 from repro.storage.disk import InMemoryDisk
 from repro.synth.workload import QueryWorkload
+
+#: Where write_result_json drops benchmark outputs (.gitignore'd).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Zones used by the long-horizon benches (reduced country axis).
 BENCH_COUNTRIES = (
@@ -157,6 +163,33 @@ def make_flat_executor(index: HierarchicalIndex) -> QueryExecutor:
 
 def make_optimized_executor(index: HierarchicalIndex) -> QueryExecutor:
     return QueryExecutor(index, cache=None, optimizer=LevelOptimizer(index))
+
+
+def write_result_json(
+    name: str,
+    payload: dict,
+    registry: MetricsRegistry | None = None,
+) -> Path:
+    """Persist one bench's results plus a metrics-registry snapshot.
+
+    The snapshot turns every run into an observability record: cache
+    hit/miss series, disk I/O, query latency quantiles — the same data
+    the dashboard's ``/metrics`` endpoint serves — land next to the
+    bench's own numbers in ``benchmarks/results/<name>.json``.
+    Components assembled via :class:`repro.system.RasedSystem` report
+    into ``system.metrics``; pass that registry here.  Standalone
+    executors (the long-horizon benches) report into the default one.
+    """
+    registry = registry if registry is not None else get_registry()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    document = {
+        "bench": name,
+        "results": payload,
+        "metrics": registry.snapshot(),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True, default=str))
+    return path
 
 
 def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:

@@ -36,6 +36,7 @@ from repro.core.dimensions import CubeSchema, default_schema, paper_scale_schema
 from repro.core.query import AnalysisQuery, QueryResult, QueryStats
 from repro.dashboard.api import Dashboard
 from repro.errors import RasedError
+from repro.obs import MetricsRegistry, QueryTrace, get_registry
 from repro.geo.zones import ZoneAtlas, build_world
 from repro.collection.records import UpdateList, UpdateRecord
 from repro.system import RasedSystem, SystemConfig
@@ -48,8 +49,11 @@ __all__ = [
     "Dashboard",
     "DataCube",
     "Level",
+    "MetricsRegistry",
     "QueryResult",
     "QueryStats",
+    "QueryTrace",
+    "get_registry",
     "RasedError",
     "RasedSystem",
     "SystemConfig",

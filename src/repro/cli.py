@@ -11,11 +11,16 @@ changesets) under ``<root>/feeds`` and index/warehouse pages under
         FROM UpdateList U WHERE U.Date BETWEEN 2021-01-01 AND 2021-02-28 \\
         GROUP BY U.Country" --chart bar
     rased-repro samples  --root /tmp/rased --zone germany -n 5
+    rased-repro stats    --root /tmp/rased --sql "SELECT COUNT(*) FROM UpdateList U"
     rased-repro serve    --root /tmp/rased --port 8200
 
 ``simulate`` drives the synthetic world and *publishes* feed files;
 ``ingest`` crawls anything not yet ingested (restart-safe via the
-persisted crawl cursor); ``query``/``samples``/``serve`` are read-only.
+persisted crawl cursor); ``query``/``samples``/``stats``/``serve`` are
+read-only.  ``stats`` dumps the deployment's metrics registry (add
+``--sql`` to exercise a query first, ``--format prometheus|json`` for
+machine-readable output); ``query --trace`` prints the per-query phase
+breakdown.
 """
 
 from __future__ import annotations
@@ -119,6 +124,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"({result.stats.cache_hits} cached), "
         f"{result.stats.simulated_ms:.2f} ms modeled --"
     )
+    if args.trace and result.stats.trace is not None:
+        print(result.stats.trace.format())
     if args.chart == "bar":
         from repro.dashboard.charts import bar_chart
 
@@ -144,6 +151,47 @@ def _cmd_samples(args: argparse.Namespace) -> int:
     for record in records:
         print(record.to_tsv())
     print(f"-- {len(records)} sample updates in {args.zone} --", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Dump the deployment's metrics registry (optionally post-query)."""
+    import json
+
+    system = _open_system(args.root, cache_slots=args.cache_slots)
+    system.warm_cache()
+    if args.sql:
+        coverage = system.index.coverage()
+        default_end = coverage[1] if coverage else None
+        result = system.dashboard.analysis(
+            parse_sql(args.sql, default_end=default_end)
+        )
+        if result.stats.trace is not None:
+            print(result.stats.trace.format())
+            print()
+    registry = system.metrics
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        return 0
+    if args.format == "prometheus":
+        print(registry.to_prometheus(), end="")
+        return 0
+    snapshot = registry.snapshot()
+    for name, series in snapshot["counters"].items():
+        for entry in series:
+            labels = ",".join(f"{k}={v}" for k, v in entry["labels"].items())
+            rendered = f"{name}{{{labels}}}" if labels else name
+            print(f"{rendered:<58} {entry['value']:>14,.0f}")
+    for name, series in snapshot["histograms"].items():
+        for entry in series:
+            labels = ",".join(f"{k}={v}" for k, v in entry["labels"].items())
+            rendered = f"{name}{{{labels}}}" if labels else name
+            print(
+                f"{rendered:<58} n={entry['count']:<8,} "
+                f"p50={entry['p50']:.6g} "
+                f"p95={entry['p95']:.6g} "
+                f"p99={entry['p99']:.6g}"
+            )
     return 0
 
 
@@ -207,7 +255,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--limit", type=int, default=20)
     query.add_argument("--cache-slots", type=int, default=64)
+    query.add_argument(
+        "--trace", action="store_true", help="print the per-query phase breakdown"
+    )
     query.set_defaults(func=_cmd_query)
+
+    stats = sub.add_parser("stats", help="dump the deployment's metrics registry")
+    stats.add_argument("--root", required=True)
+    stats.add_argument(
+        "--sql", default=None, help="run this query first, printing its trace"
+    )
+    stats.add_argument(
+        "--format", choices=("table", "json", "prometheus"), default="table"
+    )
+    stats.add_argument("--cache-slots", type=int, default=64)
+    stats.set_defaults(func=_cmd_stats)
 
     samples = sub.add_parser("samples", help="sample updates in a zone")
     samples.add_argument("--root", required=True)

@@ -18,6 +18,7 @@ replaced, so a long-lived dashboard never serves stale cubes.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from datetime import date
@@ -32,12 +33,22 @@ if TYPE_CHECKING:  # type-only: avoids a collection <-> core import cycle
 from repro.collection.daily import DailyCrawler, DailyCrawlResult
 from repro.collection.monthly import MonthlyCrawler
 from repro.collection.records import UpdateList
+from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.osm.model import OSMElement
 from repro.storage.hash_index import HashIndex
 from repro.storage.spatial_index import GridSpatialIndex
 from repro.storage.warehouse import Warehouse
 
 __all__ = ["IngestionPipeline", "IngestReport"]
+
+_K_DAYS = metric_key("rased_ingest_days_total")
+_K_UPDATES = metric_key("rased_ingest_updates_total")
+_K_SKIPPED = metric_key("rased_ingest_updates_skipped_total")
+_K_CUBES = metric_key("rased_ingest_cubes_written_total")
+_K_UPDATES_PER_DAY = metric_key("rased_ingest_updates_per_day")
+_K_DAY_SECONDS = metric_key("rased_ingest_day_seconds")
+_K_CYCLE_SECONDS = metric_key("rased_ingest_cycle_seconds", cycle="daily")
+_K_MONTHLY_SECONDS = metric_key("rased_ingest_cycle_seconds", cycle="monthly")
 
 
 @dataclass
@@ -63,6 +74,7 @@ class IngestionPipeline:
         hash_index: HashIndex | None = None,
         spatial_index: GridSpatialIndex | None = None,
         cache: CacheManager | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.daily_crawler = daily_crawler
         self.monthly_crawler = monthly_crawler
@@ -71,6 +83,7 @@ class IngestionPipeline:
         self.hash_index = hash_index
         self.spatial_index = spatial_index
         self.cache = cache
+        self.metrics = metrics if metrics is not None else get_registry()
         self._load_cursor()
 
     #: Page id of the persisted crawl cursor (survives restarts, so a
@@ -98,6 +111,7 @@ class IngestionPipeline:
 
     def ingest_daily_result(self, result: DailyCrawlResult) -> IngestReport:
         """Index one crawled day everywhere it belongs."""
+        started = time.perf_counter()
         report = IngestReport(days_processed=1)
         written = self.index.ingest_day(result.day, result.updates)
         report.cubes_written.extend(written)
@@ -105,10 +119,23 @@ class IngestionPipeline:
         report.updates_skipped = result.skipped
         self._store_rows(result.updates, report)
         self._refresh_cache(written)
+        self._record_day(report, time.perf_counter() - started)
         return report
+
+    def _record_day(self, report: IngestReport, seconds: float) -> None:
+        metrics = self.metrics
+        metrics.inc_key(_K_DAYS)
+        metrics.inc_key(_K_UPDATES, report.updates_indexed)
+        if report.updates_skipped:
+            metrics.inc_key(_K_SKIPPED, report.updates_skipped)
+        if report.cubes_written:
+            metrics.inc_key(_K_CUBES, len(report.cubes_written))
+        metrics.observe_key(_K_UPDATES_PER_DAY, report.updates_indexed)
+        metrics.observe_key(_K_DAY_SECONDS, seconds)
 
     def run_daily(self) -> IngestReport:
         """Crawl and ingest every diff published since the last cycle."""
+        started = time.perf_counter()
         report = IngestReport()
         for result in self.daily_crawler.crawl_new():
             single = self.ingest_daily_result(result)
@@ -118,6 +145,9 @@ class IngestionPipeline:
             report.cubes_written.extend(single.cubes_written)
             report.warehouse_rows += single.warehouse_rows
             self._save_cursor()
+        self.metrics.observe_key(
+            _K_CYCLE_SECONDS, time.perf_counter() - started
+        )
         return report
 
     def _store_rows(self, updates: UpdateList, report: IngestReport) -> None:
@@ -157,6 +187,7 @@ class IngestionPipeline:
         sample queries don't require reclassified update types); only
         the cube index is rebuilt.
         """
+        started = time.perf_counter()
         report = IngestReport()
         crawl = self.monthly_crawler.crawl_month(history, month)
         by_day: dict[date, UpdateList] = defaultdict(UpdateList)
@@ -168,4 +199,9 @@ class IngestionPipeline:
         report.updates_skipped = crawl.skipped
         report.days_processed = len(by_day)
         self._refresh_cache(written)
+        if report.cubes_written:
+            self.metrics.inc_key(_K_CUBES, len(report.cubes_written))
+        self.metrics.observe_key(
+            _K_MONTHLY_SECONDS, time.perf_counter() - started
+        )
         return report

@@ -27,9 +27,29 @@ from repro.core.calendar import Level, TemporalKey
 from repro.core.cube import DataCube
 from repro.core.hierarchy import HierarchicalIndex
 from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.storage.serializer import cube_page_size
 
 __all__ = ["CacheManager", "CacheRatios", "DEFAULT_RATIOS", "slots_for_bytes"]
+
+# Prepared per-level registry keys.  HIT_KEYS/MISS_KEYS are public:
+# the executor accounts hits and misses per query and flushes them in
+# its single batched registry update, keeping ``get`` free of locking.
+HIT_KEYS = {
+    level: metric_key("rased_cache_hits_total", level=level.label) for level in Level
+}
+MISS_KEYS = {
+    level: metric_key("rased_cache_misses_total", level=level.label)
+    for level in Level
+}
+_K_EVICTIONS = {
+    level: metric_key("rased_cache_evictions_total", level=level.label)
+    for level in Level
+}
+_K_PRELOADED = {
+    level: metric_key("rased_cache_preloaded_cubes_total", level=level.label)
+    for level in Level
+}
 
 
 @dataclass(frozen=True)
@@ -79,6 +99,7 @@ class CacheManager:
         slots: int,
         ratios: CacheRatios = DEFAULT_RATIOS,
         admit_on_miss: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if slots < 0:
             raise ConfigError("cache slots must be non-negative")
@@ -86,6 +107,7 @@ class CacheManager:
         self.slots = slots
         self.ratios = ratios
         self.admit_on_miss = admit_on_miss
+        self.metrics = metrics if metrics is not None else get_registry()
         self._cubes: OrderedDict[TemporalKey, DataCube] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -107,9 +129,12 @@ class CacheManager:
             if level not in self.index.levels or allotment <= 0:
                 continue
             keys = self.index.keys(level)
-            for key in keys[-allotment:]:
+            taken = keys[-allotment:]
+            for key in taken:
                 self._cubes[key] = self.index.get(key)
                 loaded += 1
+            if taken:
+                self.metrics.inc_key(_K_PRELOADED[level], len(taken))
         return loaded
 
     def refresh_key(self, key: TemporalKey) -> None:
@@ -127,7 +152,11 @@ class CacheManager:
         return frozenset(self._cubes)
 
     def get(self, key: TemporalKey) -> DataCube | None:
-        """A cached cube, or ``None`` on miss (counts hit/miss stats)."""
+        """A cached cube, or ``None`` on miss (counts hit/miss stats).
+
+        Registry series for hits/misses are recorded by the executor
+        (batched per query); this method stays lock-free.
+        """
         cube = self._cubes.get(key)
         if cube is not None:
             self.hits += 1
@@ -143,7 +172,8 @@ class CacheManager:
         self._cubes[cube.key] = cube
         self._cubes.move_to_end(cube.key)
         while len(self._cubes) > self.slots:
-            self._cubes.popitem(last=False)
+            evicted_key, _ = self._cubes.popitem(last=False)
+            self.metrics.inc_key(_K_EVICTIONS[evicted_key.level])
 
     @property
     def cached_count(self) -> int:

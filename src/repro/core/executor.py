@@ -27,7 +27,7 @@ from datetime import date
 
 import numpy as np
 
-from repro.core.cache import CacheManager
+from repro.core.cache import HIT_KEYS, MISS_KEYS, CacheManager
 from repro.core.calendar import TemporalKey, series_periods
 from repro.core.cube import DataCube
 from repro.core.hierarchy import HierarchicalIndex
@@ -40,8 +40,18 @@ from repro.core.query import (
     QueryStats,
 )
 from repro.errors import QueryError
+from repro.obs import MetricsRegistry, QueryTrace, get_registry, metric_key
 
 __all__ = ["QueryExecutor"]
+
+_K_QUERIES = metric_key("rased_queries_total")
+_K_CUBES_CACHE = metric_key("rased_query_cubes_total", source="cache")
+_K_CUBES_DISK = metric_key("rased_query_cubes_total", source="disk")
+_K_MISSING_DAYS = metric_key("rased_query_missing_days_total")
+_K_WALL = metric_key("rased_query_wall_seconds")
+_K_SIMULATED = metric_key("rased_query_simulated_seconds")
+_K_PHASE1 = metric_key("rased_query_phase_seconds", phase="phase1")
+_K_PHASE2 = metric_key("rased_query_phase_seconds", phase="phase2")
 
 
 class QueryExecutor:
@@ -53,11 +63,13 @@ class QueryExecutor:
         cache: CacheManager | None = None,
         optimizer: LevelOptimizer | None = None,
         network_sizes: NetworkSizeRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.index = index
         self.cache = cache
         self.optimizer = optimizer or LevelOptimizer(index)
         self.network_sizes = network_sizes
+        self.metrics = metrics if metrics is not None else get_registry()
 
     # -- public API -----------------------------------------------------
 
@@ -65,6 +77,8 @@ class QueryExecutor:
         started = time.perf_counter()
         disk_before = self.index.store.stats.snapshot()
         stats = QueryStats()
+        # The describe() call is deferred until the trace is rendered.
+        stats.trace = QueryTrace(query.describe)
 
         if query.groups_by_date:
             rows = self._execute_time_series(query, stats)
@@ -72,12 +86,56 @@ class QueryExecutor:
             rows = self._execute_single_window(query, stats)
 
         if query.metric == METRIC_PERCENTAGE:
+            pct_started = time.perf_counter()
             rows = self._to_percentages(query, rows)
+            stats.trace.add(
+                "phase2.percentage", time.perf_counter() - pct_started
+            )
 
         stats.wall_seconds = time.perf_counter() - started
         disk_delta = self.index.store.stats.delta(disk_before)
         stats.simulated_seconds = disk_delta.simulated_seconds + stats.wall_seconds
+        self._record_query_metrics(stats)
         return QueryResult(query=query, rows=rows, stats=stats)
+
+    def _record_query_metrics(self, stats: QueryStats) -> None:
+        trace = stats.trace
+        trace.meta.update(
+            cubes=stats.cube_count,
+            cache_hits=stats.cache_hits,
+            disk_reads=stats.disk_reads,
+            missing_days=stats.missing_days,
+            simulated_ms=round(stats.simulated_ms, 3),
+        )
+        incs = [(_K_QUERIES, 1.0)]
+        if stats.cache_hits:
+            incs.append((_K_CUBES_CACHE, stats.cache_hits))
+        if stats.disk_reads:
+            incs.append((_K_CUBES_DISK, stats.disk_reads))
+        if stats.missing_days:
+            incs.append((_K_MISSING_DAYS, stats.missing_days))
+        if self.cache is not None:
+            # Per-level cache series, accounted here (not in the
+            # cache's get()) so the hot path pays one batched flush.
+            for level, count in stats.cache_hits_by_level.items():
+                incs.append((HIT_KEYS[level], count))
+            for level, count in stats.disk_reads_by_level.items():
+                incs.append((MISS_KEYS[level], count))
+        phase1 = trace.seconds("phase1.plan") + trace.seconds(
+            "phase1.fetch.cache"
+        ) + trace.seconds("phase1.fetch.disk")
+        phase2 = trace.seconds("phase2.aggregate") + trace.seconds(
+            "phase2.percentage"
+        )
+        self.metrics.record_batch(
+            incs,
+            (
+                (_K_WALL, stats.wall_seconds),
+                (_K_SIMULATED, stats.simulated_seconds),
+                (_K_PHASE1, phase1),
+                (_K_PHASE2, phase2),
+            ),
+        )
 
     def plan(self, query: AnalysisQuery) -> QueryPlan:
         """Expose the chosen plan (ablation experiments inspect this)."""
@@ -89,7 +147,9 @@ class QueryExecutor:
     def _execute_single_window(
         self, query: AnalysisQuery, stats: QueryStats
     ) -> dict[tuple, float]:
+        plan_started = time.perf_counter()
         plan = self.plan(query)
+        stats.trace.add("phase1.plan", time.perf_counter() - plan_started)
         accumulated, labels = self._aggregate_plan(plan, query, stats)
         if accumulated is None:
             return {}
@@ -98,14 +158,20 @@ class QueryExecutor:
     def _execute_time_series(
         self, query: AnalysisQuery, stats: QueryStats
     ) -> dict[tuple, float]:
+        trace = stats.trace
+        plan_started = time.perf_counter()
         periods = series_periods(query.start, query.end, query.date_granularity)
         cached = self.cache.contents() if self.cache else frozenset()
         cached_starts = sorted(key.start for key in cached)
+        trace.add("phase1.plan", time.perf_counter() - plan_started, count=0)
+        trace.meta["periods"] = len(periods)
         rows: dict[tuple, float] = {}
         for window_start, window_end in periods:
+            plan_started = time.perf_counter()
             plan = self.optimizer.plan(
                 window_start, window_end, cached, cached_starts
             )
+            trace.add("phase1.plan", time.perf_counter() - plan_started)
             accumulated, labels = self._aggregate_plan(plan, query, stats)
             if accumulated is None:
                 continue
@@ -118,17 +184,25 @@ class QueryExecutor:
 
     # -- phases -----------------------------------------------------------
 
-    def _fetch(self, key: TemporalKey, stats: QueryStats) -> DataCube:
+    def _fetch(
+        self, key: TemporalKey, stats: QueryStats
+    ) -> tuple[DataCube, bool]:
+        """One cube plus whether it was served from the cache."""
+        level = key.level
         if self.cache is not None:
             cube = self.cache.get(key)
             if cube is not None:
                 stats.cache_hits += 1
-                return cube
+                by_level = stats.cache_hits_by_level
+                by_level[level] = by_level.get(level, 0) + 1
+                return cube, True
         cube = self.index.get(key)
         stats.disk_reads += 1
+        by_level = stats.disk_reads_by_level
+        by_level[level] = by_level.get(level, 0) + 1
         if self.cache is not None:
             self.cache.admit(cube)
-        return cube
+        return cube, False
 
     def _effective_filters(self, query: AnalysisQuery) -> dict:
         """Query filters adjusted for overlapping zones of interest.
@@ -159,13 +233,40 @@ class QueryExecutor:
         group_by = query.cube_group_by
         accumulated: np.ndarray | None = None
         labels: list[list[str]] = []
+        # Chained timestamps (each cube's end is the next cube's start)
+        # and local accumulators keep the per-cube cost to two clock
+        # reads; the trace is updated once per phase after the loop.
+        cache_seconds = disk_seconds = aggregate_seconds = 0.0
+        cache_cubes = disk_cubes = 0
+        previous = time.perf_counter()
         for key in plan.keys:
-            cube = self._fetch(key, stats)
+            cube, from_cache = self._fetch(key, stats)
+            fetched_at = time.perf_counter()
             partial, labels = cube.aggregate_array(filters, group_by)
             if accumulated is None:
                 accumulated = partial.astype(np.int64, copy=True)
             else:
                 accumulated += partial
+            done_at = time.perf_counter()
+            if from_cache:
+                cache_seconds += fetched_at - previous
+                cache_cubes += 1
+            else:
+                disk_seconds += fetched_at - previous
+                disk_cubes += 1
+            aggregate_seconds += done_at - fetched_at
+            previous = done_at
+        trace = stats.trace
+        if cache_cubes:
+            trace.add("phase1.fetch.cache", cache_seconds, cache_cubes)
+        if disk_cubes:
+            trace.add("phase1.fetch.disk", disk_seconds, disk_cubes)
+        if cache_cubes or disk_cubes:
+            trace.add(
+                "phase2.aggregate",
+                aggregate_seconds,
+                cache_cubes + disk_cubes,
+            )
         return accumulated, labels
 
     # -- result shaping ------------------------------------------------------

@@ -30,8 +30,14 @@ from datetime import date
 from repro.core.calendar import Level, TemporalKey, cover_range
 from repro.core.hierarchy import HierarchicalIndex
 from repro.errors import PlanError
+from repro.obs import MetricsRegistry, get_registry, metric_key
 
 __all__ = ["QueryPlan", "LevelOptimizer", "FlatPlanner"]
+
+_K_PLANS = metric_key("rased_optimizer_plans_total")
+_K_UNITS = metric_key("rased_optimizer_units_considered_total")
+_K_EST_DISK = metric_key("rased_optimizer_estimated_disk_reads_total")
+_K_PLANNED_CUBES = metric_key("rased_optimizer_planned_cubes_total")
 
 
 @dataclass
@@ -74,12 +80,14 @@ class LevelOptimizer:
         self,
         index: HierarchicalIndex,
         levels: tuple[Level, ...] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.index = index
         #: Levels the planner may use; defaults to all the index keeps.
         self.levels = tuple(levels) if levels is not None else self.index.levels
         if Level.DAY not in self.levels:
             raise PlanError("the planner needs at least the daily level")
+        self.metrics = metrics if metrics is not None else get_registry()
 
     def plan(
         self,
@@ -103,17 +111,29 @@ class LevelOptimizer:
 
         keys: list[TemporalKey] = []
         missing: list[date] = []
+        considered = [0]  # expand-or-keep nodes visited (shared mutable)
         for unit in cover_range(start, end):
-            _, unit_keys, unit_missing = self._best(unit, cached, cached_starts)
+            _, unit_keys, unit_missing = self._best(
+                unit, cached, cached_starts, considered
+            )
             keys.extend(unit_keys)
             missing.extend(unit_missing)
-        return QueryPlan(
+        plan = QueryPlan(
             start=start,
             end=end,
             keys=keys,
             cached_keys=cached,
             missing_days=missing,
         )
+        incs = [
+            (_K_PLANS, 1.0),
+            (_K_UNITS, considered[0]),
+            (_K_PLANNED_CUBES, plan.cube_count),
+        ]
+        if plan.disk_reads:
+            incs.append((_K_EST_DISK, plan.disk_reads))
+        self.metrics.record_batch(incs)
+        return plan
 
     @staticmethod
     def _has_cached_within(
@@ -134,12 +154,15 @@ class LevelOptimizer:
         key: TemporalKey,
         cached: frozenset[TemporalKey],
         cached_starts: list[date],
+        considered: list[int],
     ) -> tuple[tuple[int, int], list[TemporalKey], list[date]]:
         """Minimal (disk reads, cube count) cover of ``key``'s span.
 
         Returns the cost pair, the chosen keys in chronological order,
-        and the days left uncovered.
+        and the days left uncovered.  ``considered`` accumulates how
+        many candidate units the search examined (plan-size metric).
         """
+        considered[0] += 1
         usable = key.level in self.levels and self.index.has(key)
         if usable and key in cached:
             # Nothing beats a cached single cube: 0 disk reads, 1 cube.
@@ -158,7 +181,9 @@ class LevelOptimizer:
         child_keys: list[TemporalKey] = []
         child_missing: list[date] = []
         for child in key.children():
-            cost, keys, missing = self._best(child, cached, cached_starts)
+            cost, keys, missing = self._best(
+                child, cached, cached_starts, considered
+            )
             child_cost = (child_cost[0] + cost[0], child_cost[1] + cost[1])
             child_keys.extend(keys)
             child_missing.extend(missing)

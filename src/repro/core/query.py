@@ -26,6 +26,7 @@ from datetime import date
 
 from repro.core.calendar import Level
 from repro.errors import QueryError
+from repro.obs.trace import QueryTrace
 
 __all__ = ["AnalysisQuery", "QueryResult", "QueryStats", "GROUPABLE_ATTRIBUTES"]
 
@@ -118,9 +119,16 @@ class QueryStats:
     cache_hits: int = 0
     disk_reads: int = 0
     missing_days: int = 0
+    #: Per-temporal-level fetch accounting (Level -> cube count); the
+    #: executor flushes these into the metrics registry once per query.
+    cache_hits_by_level: dict = field(default_factory=dict)
+    disk_reads_by_level: dict = field(default_factory=dict)
     #: Virtual disk latency charged + measured in-memory compute time.
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Per-phase breakdown of where the query's wall time went
+    #: (``None`` only for stats objects built outside the executor).
+    trace: QueryTrace | None = None
 
     @property
     def simulated_ms(self) -> float:

@@ -19,6 +19,7 @@ from repro.errors import QueryError
 from repro.geo.geometry import BBox
 from repro.geo.zones import ZoneAtlas
 from repro.collection.records import UpdateRecord
+from repro.obs import MetricsRegistry, get_registry
 from repro.storage.hash_index import HashIndex
 from repro.storage.spatial_index import GridSpatialIndex
 from repro.storage.warehouse import Warehouse
@@ -41,12 +42,15 @@ class Dashboard:
         spatial_index: GridSpatialIndex | None = None,
         live_monitor=None,
         changeset_store=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.executor = executor
         self.atlas = atlas
         self.warehouse = warehouse
         self.hash_index = hash_index
         self.spatial_index = spatial_index
+        #: The registry the ``/metrics`` endpoint serves.
+        self.metrics = metrics if metrics is not None else get_registry()
         #: Optional :class:`repro.collection.live.LiveMonitor` for
         #: intra-day overlays (see :meth:`analysis_live`).
         self.live_monitor = live_monitor

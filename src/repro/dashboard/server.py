@@ -15,7 +15,9 @@ framework, per the offline constraint):
 * ``GET /samples?zone=<name>&n=<k>`` — sample-update query;
 * ``GET /changeset/<id>`` — one changeset's updates;
 * ``GET /contributors?n=<k>`` — top contributors from changeset
-  metadata.
+  metadata;
+* ``GET /metrics`` — the deployment's metrics registry in Prometheus
+  text exposition format (``?format=json`` for the JSON snapshot).
 
 The server is synchronous and single-threaded by design — RASED's
 query latency is milliseconds, so a demo deployment doesn't need more.
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from datetime import date
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -38,6 +41,27 @@ from repro.errors import QueryError, RasedError
 __all__ = ["query_from_json", "result_to_json", "DashboardServer"]
 
 _LEVELS = {level.label: level for level in Level}
+
+#: Known endpoint families, used as the ``path`` label on HTTP metrics
+#: so an attacker probing random URLs cannot mint unbounded series.
+_PATH_FAMILIES = (
+    "/health",
+    "/zones",
+    "/samples",
+    "/changeset",
+    "/contributors",
+    "/metrics",
+    "/analysis/sql",
+    "/analysis/live",
+    "/analysis",
+)
+
+
+def _path_family(path: str) -> str:
+    for family in _PATH_FAMILIES:
+        if path == family or path.startswith(family + "/"):
+            return family
+    return "other"
 
 
 def query_from_json(payload: dict) -> AnalysisQuery:
@@ -93,6 +117,9 @@ def result_to_json(result) -> dict:
             "disk_reads": result.stats.disk_reads,
             "simulated_ms": result.stats.simulated_ms,
             "wall_ms": result.stats.wall_seconds * 1000.0,
+            "trace": result.stats.trace.to_dict()
+            if result.stats.trace is not None
+            else None,
         },
     }
 
@@ -105,14 +132,42 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
+    def _timed(self, handler) -> None:
+        """Run one request handler and record HTTP-level metrics."""
+        started = time.perf_counter()
+        self._status = 0
+        try:
+            handler()
+        finally:
+            metrics = self.dashboard.metrics
+            family = _path_family(urlparse(self.path).path)
+            metrics.inc(
+                "rased_http_requests_total",
+                path=family,
+                status=str(self._status),
+            )
+            metrics.observe(
+                "rased_http_request_seconds",
+                time.perf_counter() - started,
+                path=family,
+            )
+
     def do_GET(self) -> None:  # noqa: N802
+        self._timed(self._handle_get)
+
+    def _handle_get(self) -> None:
         parsed = urlparse(self.path)
         try:
             if parsed.path == "/health":
@@ -143,6 +198,22 @@ class _Handler(BaseHTTPRequestHandler):
                 changeset_id = int(parsed.path.rsplit("/", 1)[1])
                 records = self.dashboard.changeset_updates(changeset_id)
                 self._send(200, {"updates": [r.to_tsv().split("\t") for r in records]})
+            elif parsed.path == "/metrics":
+                params = parse_qs(parsed.query)
+                wanted = params.get("format", ["prometheus"])[0]
+                registry = self.dashboard.metrics
+                if wanted == "json":
+                    self._send(200, registry.snapshot())
+                elif wanted == "prometheus":
+                    self._send_bytes(
+                        200,
+                        registry.to_prometheus().encode("utf-8"),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    raise QueryError(
+                        "metrics format must be 'prometheus' or 'json'"
+                    )
             elif parsed.path == "/contributors":
                 params = parse_qs(parsed.query)
                 n = int(params.get("n", ["10"])[0])
@@ -168,6 +239,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": str(exc)})
 
     def do_POST(self) -> None:  # noqa: N802
+        self._timed(self._handle_post)
+
+    def _handle_post(self) -> None:
         parsed = urlparse(self.path)
         if parsed.path not in ("/analysis", "/analysis/sql", "/analysis/live"):
             self._send(404, {"error": f"unknown path {parsed.path}"})

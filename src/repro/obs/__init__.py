@@ -1,0 +1,35 @@
+"""Observability: metrics, histograms, and per-query traces.
+
+The subsystem has two halves:
+
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of counters
+  and histograms that every layer (executor, cache, optimizer, disks,
+  warehouse, ingestion pipeline, HTTP server) reports into, with JSON
+  and Prometheus text export;
+* :mod:`repro.obs.trace` — the :class:`QueryTrace` phase breakdown
+  attached to each :class:`repro.core.query.QueryResult`.
+
+A :class:`repro.system.RasedSystem` owns a private registry
+(``system.metrics``); standalone components default to the process-wide
+registry from :func:`get_registry`.  See README.md § Observability for
+the metric name inventory.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_HISTOGRAM_WINDOW,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+    set_registry,
+)
+from repro.obs.trace import PhaseTiming, QueryTrace
+
+__all__ = [
+    "DEFAULT_HISTOGRAM_WINDOW",
+    "MetricsRegistry",
+    "PhaseTiming",
+    "QueryTrace",
+    "get_registry",
+    "metric_key",
+    "set_registry",
+]

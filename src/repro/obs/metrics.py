@@ -1,0 +1,283 @@
+"""Counters and histograms behind one process-wide (or per-system) registry.
+
+RASED's pitch is millisecond analysis queries; sustaining that at the
+paper's billion-update scale requires knowing, at all times, where a
+query's time goes — cache hits vs disk reads, plan sizes, ingest
+throughput.  This module is the reproduction's metrics substrate:
+
+* :class:`MetricsRegistry` — a named bag of **counters** (monotonic
+  floats, optionally labeled) and **histograms** (bounded observation
+  windows with p50/p95/p99 summaries).  One ``threading.Lock`` guards
+  all state; every operation is a handful of dict ops, cheap enough to
+  sit on the query hot path (see the overhead guard in CHANGES.md).
+* :func:`metric_key` — pre-computes a counter/histogram's identity so
+  hot-path callers pay no per-call label sorting (use with
+  :meth:`MetricsRegistry.inc_key` / :meth:`MetricsRegistry.observe_key`).
+* a module-level **default registry** for components assembled outside
+  a :class:`repro.system.RasedSystem` (benchmark executors, ad-hoc
+  stores); a full system carries its own registry so concurrent
+  deployments in one process do not mix series.
+
+No third-party dependencies: the registry renders itself to JSON
+(:meth:`snapshot`) and Prometheus text exposition format
+(:meth:`to_prometheus`), which is all the dashboard's ``/metrics``
+endpoint and the ``rased-repro stats`` subcommand need.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable
+
+__all__ = [
+    "MetricsRegistry",
+    "metric_key",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_HISTOGRAM_WINDOW",
+]
+
+#: Observations kept per histogram for quantile estimation.  Bounded so
+#: a long-lived dashboard's memory stays O(series), not O(queries).
+DEFAULT_HISTOGRAM_WINDOW = 2048
+
+#: A prepared metric identity: ``(name, ((label, value), ...))``.
+MetricKey = tuple
+
+
+def metric_key(name: str, **labels: str) -> MetricKey:
+    """Precompute the registry key for a (name, labels) series.
+
+    Hot-path callers build keys once (per level, per source, ...) and
+    then use :meth:`MetricsRegistry.inc_key`, skipping per-call label
+    normalization.
+    """
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class _Histogram:
+    """Running summary plus a bounded window of raw observations."""
+
+    __slots__ = ("count", "sum", "min", "max", "window")
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.window.append(value)
+
+    def quantiles(self, qs: Iterable[float]) -> dict[float, float]:
+        """Linear-interpolation quantiles over the retained window."""
+        ordered = sorted(self.window)
+        if not ordered:
+            return {}
+        last = len(ordered) - 1
+        out: dict[float, float] = {}
+        for q in qs:
+            rank = q * last
+            low = int(rank)
+            frac = rank - low
+            if frac and low < last:
+                out[q] = ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
+            else:
+                out[q] = ordered[min(low, last)]
+        return out
+
+    def summary(self) -> dict[str, float]:
+        qs = self.quantiles((0.5, 0.95, 0.99))
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.sum / self.count if self.count else 0.0,
+            "p50": qs.get(0.5, 0.0),
+            "p95": qs.get(0.95, 0.0),
+            "p99": qs.get(0.99, 0.0),
+        }
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: tuple, extra: tuple = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Thread-safe counters + histograms with JSON/Prometheus export."""
+
+    __slots__ = ("_lock", "_counters", "_histograms", "_window", "enabled")
+
+    def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, _Histogram] = {}
+        self._window = histogram_window
+        #: Kill switch: a disabled registry turns every write into a
+        #: single attribute check (the instrumentation stays wired).
+        self.enabled = True
+
+    # -- writes (hot path) --------------------------------------------------
+
+    def inc_key(self, key: MetricKey, amount: float = 1.0) -> None:
+        """Increment a counter addressed by a prepared :func:`metric_key`."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.inc_key(metric_key(name, **labels), amount)
+
+    def observe_key(self, key: MetricKey, value: float) -> None:
+        """Record one observation into a histogram (prepared key)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(self._window)
+            histogram.observe(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.observe_key(metric_key(name, **labels), value)
+
+    def record_batch(
+        self,
+        incs: Iterable[tuple[MetricKey, float]] = (),
+        observes: Iterable[tuple[MetricKey, float]] = (),
+    ) -> None:
+        """Apply many increments/observations under one lock acquisition.
+
+        The per-query flush touches ~8 series; batching keeps that at
+        one lock round-trip instead of eight on the query hot path.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            counters = self._counters
+            for key, amount in incs:
+                counters[key] = counters.get(key, 0.0) + amount
+            histograms = self._histograms
+            for key, value in observes:
+                histogram = histograms.get(key)
+                if histogram is None:
+                    histogram = histograms[key] = _Histogram(self._window)
+                histogram.observe(value)
+
+    # -- reads --------------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """One counter's value (0.0 when the series does not exist)."""
+        with self._lock:
+            return self._counters.get(metric_key(name, **labels), 0.0)
+
+    def total(self, name: str) -> float:
+        """A counter summed across all label combinations."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def histogram_summary(self, name: str, **labels: str) -> dict[str, float] | None:
+        with self._lock:
+            histogram = self._histograms.get(metric_key(name, **labels))
+            return histogram.summary() if histogram is not None else None
+
+    def counter_names(self) -> list[str]:
+        with self._lock:
+            return sorted({name for name, _ in self._counters})
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: every series with its labels and value."""
+        with self._lock:
+            counters: dict[str, list[dict]] = {}
+            for (name, labels), value in sorted(self._counters.items()):
+                counters.setdefault(name, []).append(
+                    {"labels": dict(labels), "value": value}
+                )
+            histograms: dict[str, list[dict]] = {}
+            for (name, labels), histogram in sorted(
+                self._histograms.items(), key=lambda item: item[0]
+            ):
+                entry = {"labels": dict(labels)}
+                entry.update(histogram.summary())
+                histograms.setdefault(name, []).append(entry)
+        return {"counters": counters, "histograms": histograms}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Counters render as ``counter`` series; histograms render as
+        ``summary`` series (quantile labels plus ``_sum``/``_count``),
+        which matches what the bounded-window quantiles actually are.
+        """
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+            histogram_items = sorted(
+                ((key, h.summary()) for key, h in self._histograms.items()),
+                key=lambda item: item[0],
+            )
+        lines: list[str] = []
+        seen_counter_names: set[str] = set()
+        for (name, labels), value in counter_items:
+            if name not in seen_counter_names:
+                lines.append(f"# TYPE {name} counter")
+                seen_counter_names.add(name)
+            lines.append(f"{name}{_render_labels(labels)} {_format_number(value)}")
+        seen_summary_names: set[str] = set()
+        for (name, labels), summary in histogram_items:
+            if name not in seen_summary_names:
+                lines.append(f"# TYPE {name} summary")
+                seen_summary_names.add(name)
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                rendered = _render_labels(labels, (("quantile", q_label),))
+                lines.append(f"{name}{rendered} {_format_number(summary[q_key])}")
+            rendered = _render_labels(labels)
+            lines.append(f"{name}_sum{rendered} {_format_number(summary['sum'])}")
+            lines.append(f"{name}_count{rendered} {_format_number(summary['count'])}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (components without a system)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one (tests)."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

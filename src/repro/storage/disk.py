@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.errors import ConfigError, PageNotFoundError
+from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.storage.pages import PageStore
 
 __all__ = ["InMemoryDisk", "DirectoryDisk", "DEFAULT_READ_LATENCY", "DEFAULT_WRITE_LATENCY"]
@@ -39,15 +40,29 @@ DEFAULT_WRITE_LATENCY = 0.006
 
 _SAFE_SEGMENT = re.compile(r"[^A-Za-z0-9._-]")
 
+_K_READS = metric_key("rased_disk_reads_total")
+_K_READ_BYTES = metric_key("rased_disk_read_bytes_total")
+_K_WRITES = metric_key("rased_disk_writes_total")
+_K_WRITE_BYTES = metric_key("rased_disk_write_bytes_total")
+_K_SIM_SECONDS = metric_key("rased_disk_simulated_seconds_total")
+
 
 class _LatencyMixin(PageStore):
-    """Shared accounting: counters plus the virtual latency clock."""
+    """Shared accounting: counters plus the virtual latency clock.
+
+    Every I/O is double-booked: into the store's own resettable
+    :class:`~repro.storage.pages.DiskStats` (experiment deltas) and
+    into the monotonic shared metrics registry (dashboards, ops).  A
+    :class:`repro.system.RasedSystem` rebinds :attr:`metrics` to its
+    private registry at assembly time.
+    """
 
     def __init__(
         self,
         read_latency: float = DEFAULT_READ_LATENCY,
         write_latency: float = DEFAULT_WRITE_LATENCY,
         real_sleep: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__()
         if read_latency < 0 or write_latency < 0:
@@ -55,20 +70,31 @@ class _LatencyMixin(PageStore):
         self.read_latency = read_latency
         self.write_latency = write_latency
         self.real_sleep = real_sleep
+        self.metrics = metrics if metrics is not None else get_registry()
 
     def _charge_read(self, nbytes: int) -> None:
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
         self.stats.simulated_seconds += self.read_latency
-        if self.real_sleep and self.read_latency:
-            time.sleep(self.read_latency)
+        metrics = self.metrics
+        metrics.inc_key(_K_READS)
+        metrics.inc_key(_K_READ_BYTES, nbytes)
+        if self.read_latency:
+            metrics.inc_key(_K_SIM_SECONDS, self.read_latency)
+            if self.real_sleep:
+                time.sleep(self.read_latency)
 
     def _charge_write(self, nbytes: int) -> None:
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         self.stats.simulated_seconds += self.write_latency
-        if self.real_sleep and self.write_latency:
-            time.sleep(self.write_latency)
+        metrics = self.metrics
+        metrics.inc_key(_K_WRITES)
+        metrics.inc_key(_K_WRITE_BYTES, nbytes)
+        if self.write_latency:
+            metrics.inc_key(_K_SIM_SECONDS, self.write_latency)
+            if self.real_sleep:
+                time.sleep(self.write_latency)
 
 
 class InMemoryDisk(_LatencyMixin):
@@ -79,8 +105,9 @@ class InMemoryDisk(_LatencyMixin):
         read_latency: float = DEFAULT_READ_LATENCY,
         write_latency: float = DEFAULT_WRITE_LATENCY,
         real_sleep: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        super().__init__(read_latency, write_latency, real_sleep)
+        super().__init__(read_latency, write_latency, real_sleep, metrics)
         self._pages: dict[str, bytes] = {}
 
     def read(self, page_id: str) -> bytes:
@@ -129,8 +156,9 @@ class DirectoryDisk(_LatencyMixin):
         read_latency: float = DEFAULT_READ_LATENCY,
         write_latency: float = DEFAULT_WRITE_LATENCY,
         real_sleep: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        super().__init__(read_latency, write_latency, real_sleep)
+        super().__init__(read_latency, write_latency, real_sleep, metrics)
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 

@@ -37,9 +37,14 @@ from typing import Iterable, Iterator
 from repro.core.dimensions import ELEMENT_TYPES, UPDATE_TYPES
 from repro.errors import StorageError
 from repro.collection.records import UpdateRecord
+from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.storage.pages import PageStore
 
 __all__ = ["Warehouse", "RowPointer", "ROWS_PER_PAGE"]
+
+_K_ROWS_APPENDED = metric_key("rased_warehouse_rows_appended_total")
+_K_ROWS_FETCHED = metric_key("rased_warehouse_rows_fetched_total")
+_K_SCANS = metric_key("rased_warehouse_scans_total")
 
 _ROW = struct.Struct("<BBxxi d d Q 32s 32s")
 ROW_SIZE = _ROW.size
@@ -97,9 +102,15 @@ def _unpack_row(data: bytes, offset: int) -> UpdateRecord:
 class Warehouse:
     """An append-only heap of UpdateList rows over a page store."""
 
-    def __init__(self, store: PageStore, prefix: str = "warehouse/heap") -> None:
+    def __init__(
+        self,
+        store: PageStore,
+        prefix: str = "warehouse/heap",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.store = store
         self.prefix = prefix
+        self.metrics = metrics if metrics is not None else get_registry()
         self._page_count = 0
         self._last_page_rows = 0
         self._tail: bytearray | None = None
@@ -145,6 +156,8 @@ class Warehouse:
                 dirty = False
         if dirty and self._tail is not None:
             self.store.write(self._page_id(self._page_count - 1), bytes(self._tail))
+        if pointers:
+            self.metrics.inc_key(_K_ROWS_APPENDED, len(pointers))
         return pointers
 
     # -- read path ------------------------------------------------------------
@@ -166,6 +179,7 @@ class Warehouse:
         data = self.store.read(self._page_id(pointer.page))
         if pointer.slot * ROW_SIZE >= len(data):
             raise StorageError(f"row pointer {pointer} beyond page extent")
+        self.metrics.inc_key(_K_ROWS_FETCHED)
         return _unpack_row(data, pointer.slot * ROW_SIZE)
 
     def fetch_many(self, pointers: Iterable[RowPointer]) -> list[UpdateRecord]:
@@ -181,10 +195,13 @@ class Warehouse:
                 if pointer.slot * ROW_SIZE >= len(data):
                     raise StorageError(f"row pointer {pointer} beyond page extent")
                 results[index] = _unpack_row(data, pointer.slot * ROW_SIZE)
+        if ordered:
+            self.metrics.inc_key(_K_ROWS_FETCHED, len(ordered))
         return results  # type: ignore[return-value]
 
     def scan_pages(self) -> Iterator[tuple[int, list[UpdateRecord]]]:
         """Full scan, page by page (the baseline's access path)."""
+        self.metrics.inc_key(_K_SCANS)
         for page in range(self._page_count):
             data = self.store.read(self._page_id(page))
             rows = [

@@ -34,6 +34,7 @@ from repro.collection.monthly import MonthlyCrawler
 from repro.collection.pipeline import IngestionPipeline, IngestReport
 from repro.dashboard.api import Dashboard
 from repro.geo.zones import ZoneAtlas, build_world
+from repro.obs import MetricsRegistry
 from repro.osm.changesets import ChangesetStore
 from repro.osm.replication import ReplicationFeed
 from repro.storage.disk import InMemoryDisk
@@ -72,6 +73,12 @@ class RasedSystem:
         self.store = store
         self.config = config
 
+        #: Per-deployment metrics registry.  Every component below —
+        #: including the externally constructed page store — reports
+        #: here, so two systems in one process never mix series.
+        self.metrics = MetricsRegistry()
+        store.metrics = self.metrics
+
         self.simulator = EditSimulator(atlas=atlas, config=config.simulation)
         self.day_feed = ReplicationFeed(feed_root / "replication", "day")
         self.hour_feed = ReplicationFeed(feed_root / "replication", "hour")
@@ -79,11 +86,14 @@ class RasedSystem:
         self.geocoder = Geocoder(atlas)
 
         self.index = HierarchicalIndex(schema, store, atlas=atlas)
-        self.warehouse = Warehouse(store)
+        self.warehouse = Warehouse(store, metrics=self.metrics)
         self.hash_index = HashIndex(store)
         self.spatial_index = GridSpatialIndex(store)
         self.cache = CacheManager(
-            self.index, slots=config.cache_slots, ratios=config.cache_ratios
+            self.index,
+            slots=config.cache_slots,
+            ratios=config.cache_ratios,
+            metrics=self.metrics,
         )
         self.network_sizes = NetworkSizeRegistry(
             atlas, self.simulator.road_network_sizes()
@@ -91,8 +101,9 @@ class RasedSystem:
         self.executor = QueryExecutor(
             self.index,
             cache=self.cache,
-            optimizer=LevelOptimizer(self.index),
+            optimizer=LevelOptimizer(self.index, metrics=self.metrics),
             network_sizes=self.network_sizes,
+            metrics=self.metrics,
         )
         self.pipeline = IngestionPipeline(
             daily_crawler=DailyCrawler(
@@ -104,6 +115,7 @@ class RasedSystem:
             hash_index=self.hash_index,
             spatial_index=self.spatial_index,
             cache=self.cache,
+            metrics=self.metrics,
         )
         from repro.collection.live import LiveMonitor
 
@@ -122,6 +134,7 @@ class RasedSystem:
             spatial_index=self.spatial_index,
             live_monitor=self.live_monitor,
             changeset_store=self.changeset_store,
+            metrics=self.metrics,
         )
         #: Ground-truth UpdateLists retained per published day (tests).
         self.truth_by_day: dict[date, "UpdateListType"] = {}

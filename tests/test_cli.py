@@ -38,7 +38,15 @@ class TestParser:
 
     def test_all_commands_present(self):
         parser = build_parser()
-        for command in ("simulate", "ingest", "info", "query", "samples", "serve"):
+        for command in (
+            "simulate",
+            "ingest",
+            "info",
+            "query",
+            "samples",
+            "stats",
+            "serve",
+        ):
             args = parser.parse_args(
                 [command, "--root", "/tmp/x"]
                 + (["--start", "2021-01-01", "--end", "2021-01-02"] if command == "simulate" else [])
@@ -121,6 +129,74 @@ class TestCommands:
             main(["samples", "--root", str(deployment_root), "--zone", "atlantis"]) == 2
         )
         assert "error:" in capsys.readouterr().err
+
+    def test_query_trace_prints_phase_breakdown(self, deployment_root, capsys):
+        sql = (
+            "SELECT U.ElementType, COUNT(*) FROM UpdateList U "
+            "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-14 "
+            "GROUP BY U.ElementType"
+        )
+        assert (
+            main(["query", "--root", str(deployment_root), "--sql", sql, "--trace"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "phase1.plan" in out
+        assert "phase2.aggregate" in out
+
+
+class TestStatsCommand:
+    SQL = (
+        "SELECT U.Country, COUNT(*) FROM UpdateList U "
+        "WHERE U.Date BETWEEN 2021-01-01 AND 2021-01-14 "
+        "GROUP BY U.Country"
+    )
+
+    def test_table_lists_core_series(self, deployment_root, capsys):
+        assert (
+            main(["stats", "--root", str(deployment_root), "--sql", self.SQL]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "rased_queries_total" in out
+        assert "rased_disk_reads_total" in out
+        assert "rased_query_wall_seconds" in out
+
+    def test_prometheus_format(self, deployment_root, capsys):
+        assert (
+            main(
+                [
+                    "stats",
+                    "--root", str(deployment_root),
+                    "--sql", self.SQL,
+                    "--format", "prometheus",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# TYPE rased_queries_total counter" in out
+        assert "# TYPE rased_query_wall_seconds summary" in out
+        assert 'rased_query_wall_seconds{quantile="0.5"}' in out
+
+    def test_json_format(self, deployment_root, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "stats",
+                    "--root", str(deployment_root),
+                    "--format", "json",
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "counters" in snapshot and "histograms" in snapshot
+        # Even without --sql, warming the cache touches the disk.
+        assert "rased_disk_reads_total" in snapshot["counters"]
 
 
 class TestRebuildCommand:

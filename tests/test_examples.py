@@ -8,6 +8,7 @@ examples share a larger simulated system and are exercised by
 
 from __future__ import annotations
 
+import os
 import py_compile
 import subprocess
 import sys
@@ -16,6 +17,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 ALL_EXAMPLES = sorted(
     p for p in EXAMPLES_DIR.glob("*.py") if not p.name.startswith("_")
 )
@@ -40,11 +42,18 @@ class TestExamplesCompile:
 
 
 def run_example(name: str) -> subprocess.CompletedProcess:
+    # The child must find the repro package without the repo being
+    # installed.  Build its PYTHONPATH from scratch — deliberately NOT
+    # inheriting the parent's — so the examples provably run from a
+    # clean environment plus src/ alone.
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    env["PYTHONPATH"] = str(SRC_DIR)
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True,
         text=True,
         cwd=EXAMPLES_DIR,
+        env=env,
         timeout=180,
     )
 

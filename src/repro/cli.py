@@ -13,6 +13,11 @@ changesets) under ``<root>/feeds`` and index/warehouse pages under
     rased-repro samples  --root /tmp/rased --zone germany -n 5
     rased-repro stats    --root /tmp/rased --sql "SELECT COUNT(*) FROM UpdateList U"
     rased-repro serve    --root /tmp/rased --port 8200
+    rased-repro lint     --format json
+
+``lint`` needs no deployment: it runs the project's static-analysis
+suite (:mod:`repro.tools.lint`) over the installed source tree and
+fails on any finding not recorded in ``lint-baseline.json``.
 
 ``simulate`` drives the synthetic world and *publishes* feed files;
 ``ingest`` crawls anything not yet ingested (restart-safe via the
@@ -195,6 +200,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.tools.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dashboard.server import DashboardServer
 
@@ -283,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8200)
     serve.add_argument("--cache-slots", type=int, default=64)
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="run the project static-analysis suite (repro.tools.lint)"
+    )
+    from repro.tools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

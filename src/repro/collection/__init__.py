@@ -10,7 +10,7 @@ from typing import Any
 __all__ = [
     "DailyCrawlResult", "DailyCrawler", "Geocoder", "IngestReport",
     "IngestionPipeline", "Location", "MonthlyCrawlResult", "MonthlyCrawler",
-    "UpdateList", "UpdateRecord", "LiveMonitor",
+    "UpdateList", "UpdateRecord",
 ]
 
 _HOMES = {
@@ -22,7 +22,6 @@ _HOMES = {
     "MonthlyCrawlResult": "monthly",
     "IngestionPipeline": "pipeline",
     "IngestReport": "pipeline",
-    "LiveMonitor": "live",
     "UpdateList": "records",
     "UpdateRecord": "records",
 }

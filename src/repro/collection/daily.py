@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from datetime import date, datetime
 from typing import Iterator
 
-from repro.core.dimensions import UPDATE_CREATE, UPDATE_DELETE, UPDATE_GEOMETRY
+from repro.types.dimensions import UPDATE_CREATE, UPDATE_DELETE, UPDATE_GEOMETRY
 from repro.errors import GeocodeError
 from repro.collection.geocode import Geocoder, Location
 from repro.collection.records import UpdateList, UpdateRecord

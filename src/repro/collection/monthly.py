@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable
 
-from repro.core.calendar import TemporalKey
+from repro.types.temporal import TemporalKey
 from repro.errors import GeocodeError
 from repro.collection.geocode import Geocoder, Location
 from repro.collection.records import UpdateList, UpdateRecord

@@ -25,19 +25,23 @@ from datetime import date
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Iterable
 
-if TYPE_CHECKING:  # type-only: avoids a collection <-> core import cycle
+if TYPE_CHECKING:
+    # Type-only: the pipeline is *handed* its index, warehouse, and
+    # cache — it never constructs them — so the upward references to
+    # core and storage stay out of the runtime import graph (the
+    # layering rule in repro.tools.lint exempts TYPE_CHECKING blocks).
     from repro.core.cache import CacheManager
-    from repro.core.calendar import TemporalKey
     from repro.core.hierarchy import HierarchicalIndex
+    from repro.storage.hash_index import HashIndex
+    from repro.storage.spatial_index import GridSpatialIndex
+    from repro.storage.warehouse import Warehouse
 
 from repro.collection.daily import DailyCrawler, DailyCrawlResult
 from repro.collection.monthly import MonthlyCrawler
 from repro.collection.records import UpdateList
 from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.osm.model import OSMElement
-from repro.storage.hash_index import HashIndex
-from repro.storage.spatial_index import GridSpatialIndex
-from repro.storage.warehouse import Warehouse
+from repro.types.temporal import TemporalKey
 
 __all__ = ["IngestionPipeline", "IngestReport"]
 

@@ -26,7 +26,7 @@ from typing import IO, Iterable, Iterator
 
 import numpy as np
 
-from repro.core.dimensions import CubeSchema, ELEMENT_TYPES, UPDATE_TYPES
+from repro.types.dimensions import CubeSchema, ELEMENT_TYPES, UPDATE_TYPES
 from repro.errors import ParseError
 from repro.geo.geometry import Point
 from repro.geo.zones import ZoneAtlas

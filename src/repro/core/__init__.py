@@ -7,6 +7,7 @@ from repro.core.cube import DataCube, sum_cubes
 from repro.core.dimensions import CubeSchema, Dimension, default_schema
 from repro.core.executor import QueryExecutor
 from repro.core.hierarchy import HierarchicalIndex
+from repro.core.live import LiveMonitor
 from repro.core.optimizer import FlatPlanner, LevelOptimizer, QueryPlan
 from repro.core.percentages import NetworkSizeRegistry
 from repro.core.stability import AnomalousDay, StabilityAnalyzer, StabilityMetrics
@@ -15,7 +16,7 @@ from repro.core.query import AnalysisQuery, QueryResult, QueryStats
 __all__ = [
     "AnalysisQuery", "CacheManager", "CacheRatios", "Contributor",
     "ContributorStats", "CubeSchema", "DEFAULT_RATIOS",
-    "DataCube", "Dimension", "FlatPlanner", "HierarchicalIndex", "Level",
+    "DataCube", "Dimension", "FlatPlanner", "HierarchicalIndex", "Level", "LiveMonitor",
     "LevelOptimizer", "AnomalousDay", "NetworkSizeRegistry", "QueryExecutor", "QueryPlan",
     "StabilityAnalyzer", "StabilityMetrics",
     "QueryResult", "QueryStats", "TemporalKey", "cover_range", "default_schema",

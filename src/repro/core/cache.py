@@ -20,6 +20,7 @@ defaults.  A small optional LRU overflow supports query-time admission
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -108,7 +109,12 @@ class CacheManager:
         self.ratios = ratios
         self.admit_on_miss = admit_on_miss
         self.metrics = metrics if metrics is not None else get_registry()
-        self._cubes: OrderedDict[TemporalKey, DataCube] = OrderedDict()
+        # The cache is written from two sides at once in a deployed
+        # system: dashboard queries (get/admit LRU movement) and the
+        # ingestion pipeline (preload/refresh_key after maintenance
+        # replaces cubes).  One lock serializes those mutations.
+        self._lock = threading.Lock()
+        self._cubes: OrderedDict[TemporalKey, DataCube] = OrderedDict()  # guarded-by: _lock
         self.hits = 0
         self.misses = 0
 
@@ -121,26 +127,31 @@ class CacheManager:
         but preloading is part of RASED's offline maintenance — callers
         benchmarking queries should reset disk stats afterwards.
         """
-        self._cubes.clear()
-        self.hits = 0
-        self.misses = 0
-        loaded = 0
-        for level, allotment in self.ratios.slots_per_level(self.slots).items():
-            if level not in self.index.levels or allotment <= 0:
-                continue
-            keys = self.index.keys(level)
-            taken = keys[-allotment:]
-            for key in taken:
-                self._cubes[key] = self.index.get(key)
-                loaded += 1
-            if taken:
-                self.metrics.inc_key(_K_PRELOADED[level], len(taken))
+        with self._lock:
+            self._cubes.clear()
+            self.hits = 0
+            self.misses = 0
+            loaded = 0
+            for level, allotment in self.ratios.slots_per_level(self.slots).items():
+                if level not in self.index.levels or allotment <= 0:
+                    continue
+                keys = self.index.keys(level)
+                taken = keys[-allotment:]
+                for key in taken:
+                    self._cubes[key] = self.index.get(key)
+                    loaded += 1
+                if taken:
+                    self.metrics.inc_key(_K_PRELOADED[level], len(taken))
         return loaded
 
     def refresh_key(self, key: TemporalKey) -> None:
         """Re-read one cached cube after maintenance replaced it."""
-        if key in self._cubes:
-            self._cubes[key] = self.index.get(key)
+        if key not in self._cubes:
+            return
+        cube = self.index.get(key)  # disk read outside the lock
+        with self._lock:
+            if key in self._cubes:
+                self._cubes[key] = cube
 
     # -- lookup ------------------------------------------------------------
 
@@ -149,31 +160,35 @@ class CacheManager:
 
     def contents(self) -> frozenset[TemporalKey]:
         """Immutable view of cached keys (consumed by the optimizer)."""
-        return frozenset(self._cubes)
+        with self._lock:
+            return frozenset(self._cubes)
 
     def get(self, key: TemporalKey) -> DataCube | None:
         """A cached cube, or ``None`` on miss (counts hit/miss stats).
 
         Registry series for hits/misses are recorded by the executor
-        (batched per query); this method stays lock-free.
+        (batched per query); this method pays only the cache's own
+        uncontended lock, never the registry's.
         """
-        cube = self._cubes.get(key)
-        if cube is not None:
-            self.hits += 1
-            self._cubes.move_to_end(key)
-            return cube
-        self.misses += 1
-        return None
+        with self._lock:
+            cube = self._cubes.get(key)
+            if cube is not None:
+                self.hits += 1
+                self._cubes.move_to_end(key)
+                return cube
+            self.misses += 1
+            return None
 
     def admit(self, cube: DataCube) -> None:
         """Query-time admission with LRU eviction (optional extension)."""
         if not self.admit_on_miss or self.slots == 0:
             return
-        self._cubes[cube.key] = cube
-        self._cubes.move_to_end(cube.key)
-        while len(self._cubes) > self.slots:
-            evicted_key, _ = self._cubes.popitem(last=False)
-            self.metrics.inc_key(_K_EVICTIONS[evicted_key.level])
+        with self._lock:
+            self._cubes[cube.key] = cube
+            self._cubes.move_to_end(cube.key)
+            while len(self._cubes) > self.slots:
+                evicted_key, _ = self._cubes.popitem(last=False)
+                self.metrics.inc_key(_K_EVICTIONS[evicted_key.level])
 
     @property
     def cached_count(self) -> int:

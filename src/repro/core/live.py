@@ -18,16 +18,16 @@ from __future__ import annotations
 
 from datetime import date, datetime, timedelta, timezone
 
-from repro.core.cube import DataCube, RESOLUTION_COARSE
-from repro.core.calendar import day_key
-from repro.core.dimensions import CubeSchema
-from repro.core.query import AnalysisQuery, QueryResult
 from repro.collection.daily import DailyCrawler, DailyCrawlResult
 from repro.collection.geocode import Geocoder
+from repro.core.query import AnalysisQuery, QueryResult
 from repro.geo.zones import ZoneAtlas
 from repro.osm.changesets import ChangesetStore
 from repro.osm.replication import ReplicationFeed
 from repro.osm.xml_io import OsmChange
+from repro.types.cube import DataCube, RESOLUTION_COARSE
+from repro.types.dimensions import CubeSchema
+from repro.types.temporal import day_key, series_period_start
 
 __all__ = ["LiveMonitor", "split_change_by_hour"]
 
@@ -161,8 +161,6 @@ class LiveMonitor:
     def _row_key(query: AnalysisQuery, group: tuple, day: date) -> tuple:
         if not query.groups_by_date:
             return group
-        from repro.core.calendar import series_period_start
-
         period = max(
             series_period_start(day, query.date_granularity), query.start
         )

@@ -51,7 +51,7 @@ class Dashboard:
         self.spatial_index = spatial_index
         #: The registry the ``/metrics`` endpoint serves.
         self.metrics = metrics if metrics is not None else get_registry()
-        #: Optional :class:`repro.collection.live.LiveMonitor` for
+        #: Optional :class:`repro.core.live.LiveMonitor` for
         #: intra-day overlays (see :meth:`analysis_live`).
         self.live_monitor = live_monitor
         #: Optional changeset store backing contributor analytics.
@@ -68,7 +68,7 @@ class Dashboard:
 
         Runs the normal cube query, then overlays any live days the
         persisted index has not ingested yet.  Requires a deployment
-        wired with a :class:`~repro.collection.live.LiveMonitor`;
+        wired with a :class:`~repro.core.live.LiveMonitor`;
         without one this is identical to :meth:`analysis`.
         """
         result = self.executor.execute(query)

@@ -38,6 +38,11 @@ from repro.core.query import AnalysisQuery
 from repro.dashboard.api import Dashboard
 from repro.errors import QueryError, RasedError
 
+# Metric names as module constants (labels vary per request, so the
+# keys cannot be fully prepared the way the executor's are).
+_M_HTTP_REQUESTS = "rased_http_requests_total"
+_M_HTTP_SECONDS = "rased_http_request_seconds"
+
 __all__ = ["query_from_json", "result_to_json", "DashboardServer"]
 
 _LEVELS = {level.label: level for level in Level}
@@ -154,12 +159,12 @@ class _Handler(BaseHTTPRequestHandler):
             metrics = self.dashboard.metrics
             family = _path_family(urlparse(self.path).path)
             metrics.inc(
-                "rased_http_requests_total",
+                _M_HTTP_REQUESTS,
                 path=family,
                 status=str(self._status),
             )
             metrics.observe(
-                "rased_http_request_seconds",
+                _M_HTTP_SECONDS,
                 time.perf_counter() - started,
                 path=family,
             )

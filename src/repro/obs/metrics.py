@@ -127,8 +127,8 @@ class MetricsRegistry:
 
     def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[MetricKey, float] = {}
-        self._histograms: dict[MetricKey, _Histogram] = {}
+        self._counters: dict[MetricKey, float] = {}  # guarded-by: _lock
+        self._histograms: dict[MetricKey, _Histogram] = {}  # guarded-by: _lock
         self._window = histogram_window
         #: Kill switch: a disabled registry turns every write into a
         #: single attribute check (the instrumentation stays wired).

@@ -23,7 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
-from repro.core.dimensions import (
+from repro.types.dimensions import (
     UPDATE_CREATE,
     UPDATE_DELETE,
     UPDATE_GEOMETRY,

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field, replace
 from datetime import datetime, timezone
 from typing import Sequence
 
-from repro.core.dimensions import ELEMENT_NODE, ELEMENT_RELATION, ELEMENT_WAY
+from repro.types.dimensions import ELEMENT_NODE, ELEMENT_RELATION, ELEMENT_WAY
 from repro.errors import ConfigError
 
 __all__ = [

@@ -18,7 +18,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import IO, Iterable
 
-from repro.errors import ParseError
+from repro.errors import GeocodeError, ParseError
 from repro.geo.geometry import Point
 from repro.geo.zones import ZoneAtlas
 from repro.osm.model import OSMElement, OSMNode, OSMWay, element_kind
@@ -70,7 +70,9 @@ def road_segment_counts(
             continue
         try:
             country = atlas.country_at(location)
-        except Exception:
+        except GeocodeError:
+            # Ways anchored outside every zone (ocean nodes, truncated
+            # extracts) belong to no country's road network; skip them.
             continue
         counts[country.name] += 1
     return counts

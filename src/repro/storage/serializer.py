@@ -36,9 +36,9 @@ import zlib
 
 import numpy as np
 
-from repro.core.calendar import Level, TemporalKey
-from repro.core.cube import DataCube, RESOLUTION_COARSE, RESOLUTION_FULL
-from repro.core.dimensions import CubeSchema
+from repro.types.temporal import Level, TemporalKey
+from repro.types.cube import DataCube, RESOLUTION_COARSE, RESOLUTION_FULL
+from repro.types.dimensions import CubeSchema
 from repro.errors import PageCorruptError
 
 __all__ = ["serialize_cube", "deserialize_cube", "HEADER_SIZE", "cube_page_size"]

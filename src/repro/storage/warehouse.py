@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from datetime import date as date_type
 from typing import Iterable, Iterator
 
-from repro.core.dimensions import ELEMENT_TYPES, UPDATE_TYPES
+from repro.types.dimensions import ELEMENT_TYPES, UPDATE_TYPES
 from repro.errors import StorageError
 from repro.collection.records import UpdateRecord
 from repro.obs import MetricsRegistry, get_registry, metric_key

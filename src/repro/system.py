@@ -117,7 +117,7 @@ class RasedSystem:
             cache=self.cache,
             metrics=self.metrics,
         )
-        from repro.collection.live import LiveMonitor
+        from repro.core.live import LiveMonitor
 
         self.live_monitor = LiveMonitor(
             self.hour_feed,
@@ -186,7 +186,7 @@ class RasedSystem:
 
         stamp = datetime.combine(day, time(23, 59), tzinfo=timezone.utc)
         if hourly:
-            from repro.collection.live import split_change_by_hour
+            from repro.core.live import split_change_by_hour
 
             for hour, change in split_change_by_hour(output.change):
                 hour_stamp = datetime.combine(day, time(hour, 59), tzinfo=timezone.utc)
@@ -206,7 +206,7 @@ class RasedSystem:
         self.truth_by_day[day] = output.truth
         from datetime import datetime, time, timezone
 
-        from repro.collection.live import split_change_by_hour
+        from repro.core.live import split_change_by_hour
 
         published = 0
         for hour, change in split_change_by_hour(output.change):

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.tools.lint``."""
+
+from repro.tools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline is a checked-in JSON file mapping finding fingerprints —
+``(rule, path, stripped source line)`` — to allowed counts.
+Fingerprints deliberately exclude line numbers so unrelated edits do
+not invalidate entries; moving or editing the offending line does.
+
+Regenerate with ``rased-repro lint --write-baseline`` after reviewing
+(not before!) any new findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.tools.lint.model import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint -> allowed count.  A missing file is an empty baseline."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    allowed: Counter = Counter()
+    for entry in payload.get("findings", []):
+        fingerprint = (
+            f"{entry['rule']}::{entry['path']}::{entry.get('context', '')}"
+        )
+        allowed[fingerprint] += int(entry.get("count", 1))
+    return allowed
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    counted: Counter = Counter(f.fingerprint for f in findings)
+    by_fingerprint = {f.fingerprint: f for f in findings}
+    entries = []
+    for fingerprint in sorted(counted):
+        finding = by_fingerprint[fingerprint]
+        entry: dict = {
+            "rule": finding.rule,
+            "path": finding.path,
+            "context": finding.context,
+        }
+        if counted[fingerprint] > 1:
+            entry["count"] = counted[fingerprint]
+        entries.append(entry)
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], allowed: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (fresh, baselined-count)."""
+    budget = Counter(allowed)
+    fresh: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+            baselined += 1
+        else:
+            fresh.append(finding)
+    return fresh, baselined

@@ -1,0 +1,128 @@
+"""Command-line front end: ``rased-repro lint`` / ``python -m repro.tools.lint``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tools.lint.baseline import write_baseline
+from repro.tools.lint.runner import RULES, default_package_root, run_lint
+
+__all__ = ["main", "add_lint_arguments", "run_from_args"]
+
+
+def default_baseline_path() -> Path:
+    """``lint-baseline.json`` next to the source tree (repo root in a
+    src-layout checkout); falls back to the current directory for
+    installed packages."""
+    root = default_package_root()
+    for candidate in (root.parent.parent, root.parent, Path.cwd()):
+        path = candidate / "lint-baseline.json"
+        if path.exists():
+            return path
+    return Path.cwd() / "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is machine-readable, for CI)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file path (default: lint-baseline.json at repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=f"comma-separated rule subset (known: {', '.join(sorted(RULES))})",
+    )
+    parser.add_argument(
+        "--root",
+        dest="lint_root",
+        default=None,
+        help="package directory to scan (default: the installed repro package)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = [name for name in rules if name not in RULES]
+        if unknown:
+            print(
+                f"error: unknown lint rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+    package_root = Path(args.lint_root) if args.lint_root else None
+    baseline = (
+        None
+        if args.no_baseline or args.write_baseline
+        else Path(args.baseline)
+        if args.baseline
+        else default_baseline_path()
+    )
+    report = run_lint(
+        package_root=package_root, baseline_path=baseline, rules=rules
+    )
+
+    if args.write_baseline:
+        target = (
+            Path(args.baseline) if args.baseline else default_baseline_path()
+        )
+        write_baseline(target, report.findings)
+        print(
+            f"wrote {len(report.findings)} baseline entr"
+            f"{'y' if len(report.findings) == 1 else 'ies'} to {target}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(
+                f"{finding.path}:{finding.line}: [{finding.rule}] "
+                f"{finding.message}"
+            )
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_scanned} "
+            f"file(s) ({report.baselined} baselined, "
+            f"{report.suppressed} suppressed)"
+        )
+        print(("FAIL: " if report.findings else "OK: ") + summary)
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description=(
+            "RASED project lint: layer DAG, lock discipline, hot-path "
+            "hygiene, cube-schema order, metric-name hygiene, TODO tracking."
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

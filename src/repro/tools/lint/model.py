@@ -1,0 +1,229 @@
+"""Shared data model for the lint suite: findings, parsed files, config.
+
+A :class:`SourceFile` bundles everything a rule needs about one module:
+the parsed AST, the raw lines, the per-line comments (rules use these
+for the ``# guarded-by:`` convention and ``# lint: allow[...]``
+suppressions), and the module's dotted name and top-level package.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "SourceFile",
+    "DEFAULT_LAYERS",
+    "CANONICAL_AXES",
+    "load_source_file",
+    "collect_source_files",
+]
+
+#: The declared layer DAG, bottom (most importable) to top.  A package
+#: may import only packages on strictly lower levels; packages sharing
+#: a level (``osm``/``obs``, ``baseline``/``synth``) are siblings and
+#: may not import each other.  The package root (``repro/__init__.py``)
+#: re-exports the public API and sits above everything.
+DEFAULT_LAYERS: tuple[frozenset[str], ...] = (
+    frozenset({"errors"}),
+    frozenset({"types"}),
+    frozenset({"geo"}),
+    frozenset({"osm", "obs"}),
+    frozenset({"collection"}),
+    frozenset({"storage"}),
+    frozenset({"core"}),
+    frozenset({"baseline", "synth"}),
+    frozenset({"dashboard"}),
+    frozenset({"system"}),
+    frozenset({"tools"}),
+    frozenset({"cli"}),
+)
+
+#: Canonical cube axis order — must match
+#: ``repro.core.dimensions.CubeSchema.AXES``.
+CANONICAL_AXES: tuple[str, ...] = (
+    "element_type",
+    "country",
+    "road_type",
+    "update_type",
+)
+
+_SUPPRESS_RE = re.compile(r"lint:\s*allow\[([a-z0-9_,\- ]+)\]")
+_GUARDED_RE = re.compile(r"guarded-by:\s*(\w+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: The stripped source line — the baseline fingerprints findings on
+    #: (rule, path, context) so entries survive unrelated line drift.
+    context: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.context}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to scan and how strictly.
+
+    The defaults describe the real tree (``src/repro``); tests point
+    these knobs at fixture trees instead.
+    """
+
+    top_package: str = "repro"
+    layers: tuple[frozenset[str], ...] = DEFAULT_LAYERS
+    #: Packages where wall-clock calls are forbidden (inject clocks or
+    #: use the trace layer instead).
+    hot_path_packages: frozenset[str] = frozenset({"core", "storage"})
+    #: Packages exempt from the metric-name rule (the registry itself,
+    #: and the lint tool).
+    obs_packages: frozenset[str] = frozenset({"obs", "tools"})
+    canonical_axes: tuple[str, ...] = CANONICAL_AXES
+    #: Packages where *partial* axis tuples are also checked for order
+    #: (construction/serialization code); elsewhere only tuples naming
+    #: all four axes are checked.
+    cube_order_strict_packages: frozenset[str] = frozenset(
+        {"types", "storage", "core"}
+    )
+
+    def level_of(self, package: str) -> int | None:
+        for index, names in enumerate(self.layers):
+            if package in names:
+                return index
+        return None
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus the comment metadata rules rely on."""
+
+    path: Path
+    rel_path: str
+    module: str
+    package: str
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: lineno -> full comment text (without the leading ``#``).
+    comments: dict[int, str] = field(default_factory=dict)
+    #: lineno -> rule names suppressed on that line via
+    #: ``# lint: allow[rule]`` (``*`` suppresses every rule).
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, lineno: int, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.rel_path,
+            line=lineno,
+            message=message,
+            context=self.line(lineno),
+        )
+
+    def guarded_comment(self, lineno: int) -> str | None:
+        """The lock name from a ``# guarded-by: <name>`` comment."""
+        comment = self.comments.get(lineno)
+        if comment is None:
+            return None
+        match = _GUARDED_RE.search(comment)
+        return match.group(1) if match else None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        allowed = self.suppressions.get(finding.line)
+        if not allowed:
+            return False
+        return "*" in allowed or finding.rule in allowed
+
+
+def _extract_comments(text: str) -> dict[int, str]:
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except tokenize.TokenError:
+        pass  # keep whatever comments tokenized before the bad region
+    return comments
+
+
+def _extract_suppressions(
+    comments: dict[int, str],
+) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, comment in comments.items():
+        match = _SUPPRESS_RE.search(comment)
+        if match:
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if rules:
+                suppressions[lineno] = rules
+    return suppressions
+
+
+def load_source_file(path: Path, package_root: Path, top_package: str) -> SourceFile:
+    """Parse one file into a :class:`SourceFile`.
+
+    ``package_root`` is the directory of the top package (e.g.
+    ``src/repro``); module and package names are derived from the path
+    relative to it.
+    """
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(package_root)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    module = ".".join([top_package, *parts]) if parts else top_package
+    if not parts:
+        package = ""  # the package root module: repro/__init__.py
+    else:
+        package = parts[0]
+    tree = ast.parse(text, filename=str(path))
+    comments = _extract_comments(text)
+    return SourceFile(
+        path=path,
+        rel_path=rel.as_posix(),
+        module=module,
+        package=package,
+        text=text,
+        tree=tree,
+        lines=text.splitlines(),
+        comments=comments,
+        suppressions=_extract_suppressions(comments),
+    )
+
+
+def collect_source_files(
+    package_root: Path, top_package: str
+) -> Iterator[SourceFile]:
+    """Load every ``.py`` file under the package root, sorted by path."""
+    for path in sorted(package_root.rglob("*.py")):
+        yield load_source_file(path, package_root, top_package)

@@ -1,0 +1,109 @@
+"""Run every lint rule over a package tree and aggregate the report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.tools.lint.baseline import apply_baseline, load_baseline
+from repro.tools.lint.cubeschema import check_cube_order, check_metric_names
+from repro.tools.lint.hygiene import (
+    check_broad_except,
+    check_mutable_defaults,
+    check_todos,
+    check_wall_clock,
+)
+from repro.tools.lint.layering import check_layering
+from repro.tools.lint.locks import check_locks
+from repro.tools.lint.model import (
+    Finding,
+    LintConfig,
+    SourceFile,
+    collect_source_files,
+)
+
+__all__ = ["LintReport", "RULES", "run_lint", "default_package_root"]
+
+Rule = Callable[[list[SourceFile], LintConfig], list[Finding]]
+
+#: Rule-set name -> checker.  A checker may emit several rule ids
+#: (e.g. ``layering`` also emits ``layering-cycle``).
+RULES: dict[str, Rule] = {
+    "layering": check_layering,
+    "lock-guard": check_locks,
+    "hot-path-clock": check_wall_clock,
+    "broad-except": check_broad_except,
+    "mutable-default": check_mutable_defaults,
+    "cube-order": check_cube_order,
+    "metric-name": check_metric_names,
+    "todo": check_todos,
+}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def default_package_root() -> Path:
+    """The ``repro`` package directory this installation runs from."""
+    return Path(__file__).resolve().parents[2]
+
+
+def run_lint(
+    package_root: Path | None = None,
+    config: LintConfig | None = None,
+    baseline_path: Path | None = None,
+    rules: list[str] | None = None,
+) -> LintReport:
+    """Run the suite; findings surviving suppression + baseline fail."""
+    root = package_root if package_root is not None else default_package_root()
+    cfg = config if config is not None else LintConfig()
+    sources = list(collect_source_files(root, cfg.top_package))
+    by_path = {source.rel_path: source for source in sources}
+
+    selected = RULES if rules is None else {
+        name: RULES[name] for name in rules
+    }
+    raw: list[Finding] = []
+    for checker in selected.values():
+        raw.extend(checker(sources, cfg))
+
+    report = LintReport(files_scanned=len(sources))
+    unsuppressed: list[Finding] = []
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            report.suppressed += 1
+        else:
+            unsuppressed.append(finding)
+
+    allowed = load_baseline(baseline_path) if baseline_path else None
+    if allowed:
+        fresh, baselined = apply_baseline(unsuppressed, allowed)
+        report.findings = fresh
+        report.baselined = baselined
+    else:
+        report.findings = unsuppressed
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

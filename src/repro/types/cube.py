@@ -1,0 +1,288 @@
+"""Four-dimensional data cubes of precomputed update counts.
+
+Each index node in RASED stores one :class:`DataCube`: a dense array of
+update counts over (ElementType, Country, RoadType, UpdateType) for one
+temporal window (paper, Section VI-A; data cubes after Gray et al.,
+ICDE 1996).  At the paper's full scale a cube holds 3 x 300 x 150 x 4 =
+540,000 int64 cells, i.e. ~4 MB — one disk page.
+
+Cubes support the two operations the system needs:
+
+* **build/maintain** — :meth:`DataCube.record` increments one cell per
+  crawled update; :func:`sum_cubes` rolls children up into parents.
+* **query** — :meth:`DataCube.aggregate` applies per-dimension filters
+  and group-bys entirely in memory (the paper's "second phase").
+
+A cube also carries its update-type ``resolution``: daily crawls only
+know create-vs-update, so daily-built cubes are ``'coarse'`` (modifies
+counted under *geometry*); after the monthly rebuild they become
+``'full'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.types.dimensions import CubeSchema
+from repro.types.temporal import TemporalKey
+
+__all__ = [
+    "DataCube",
+    "Resolution",
+    "RESOLUTION_COARSE",
+    "RESOLUTION_FULL",
+    "sum_cubes",
+    "empty_like",
+]
+
+#: Cube update-type resolution markers.
+Resolution = str
+RESOLUTION_COARSE: Resolution = "coarse"
+RESOLUTION_FULL: Resolution = "full"
+_VALID_RESOLUTIONS = (RESOLUTION_COARSE, RESOLUTION_FULL)
+
+
+@dataclass
+class DataCube:
+    """A dense 4-D count cube for one temporal window.
+
+    Attributes
+    ----------
+    schema:
+        The dimension schema; fixes axis order and sizes.
+    key:
+        The temporal key (day/week/month/year) this cube covers.
+    counts:
+        ``int64`` ndarray of shape ``schema.shape``.
+    resolution:
+        ``'coarse'`` for daily-crawl cubes (2-way update types),
+        ``'full'`` after the monthly rebuild (4-way).
+    """
+
+    schema: CubeSchema
+    key: TemporalKey
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    resolution: Resolution = RESOLUTION_FULL
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = np.zeros(self.schema.shape, dtype=np.int64)
+        else:
+            self.counts = np.asarray(self.counts, dtype=np.int64)
+            if self.counts.shape != self.schema.shape:
+                raise DimensionError(
+                    f"cube counts shape {self.counts.shape} does not match "
+                    f"schema shape {self.schema.shape}"
+                )
+        if self.resolution not in _VALID_RESOLUTIONS:
+            raise DimensionError(f"invalid resolution {self.resolution!r}")
+
+    # -- sizing ---------------------------------------------------------
+
+    @property
+    def cell_count(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (8 bytes per cell, as in the paper)."""
+        return int(self.counts.nbytes)
+
+    @property
+    def total(self) -> int:
+        """Total number of updates counted in this cube."""
+        return int(self.counts.sum())
+
+    # -- build ----------------------------------------------------------
+
+    def record(
+        self, element_type: str, country: str, road_type: str, update_type: str
+    ) -> None:
+        """Count one update in its cell."""
+        coords = self.schema.encode(element_type, country, road_type, update_type)
+        self.counts[coords] += 1
+
+    def record_codes(self, coords: tuple[int, int, int, int], count: int = 1) -> None:
+        """Count pre-encoded updates (hot path for the crawlers)."""
+        self.counts[coords] += count
+
+    def bulk_record(self, coded: np.ndarray) -> None:
+        """Count a batch of pre-encoded updates.
+
+        ``coded`` is an ``(n, 4)`` integer array of cube coordinates.
+        Uses ``np.add.at`` so repeated coordinates accumulate.
+        """
+        coded = np.asarray(coded)
+        if coded.ndim != 2 or coded.shape[1] != 4:
+            raise DimensionError(f"expected (n, 4) coordinate array, got {coded.shape}")
+        np.add.at(
+            self.counts, (coded[:, 0], coded[:, 1], coded[:, 2], coded[:, 3]), 1
+        )
+
+    def add(self, other: "DataCube") -> None:
+        """Accumulate another cube's counts into this one (rollup step).
+
+        The result is ``'full'`` resolution only if every contributor
+        is full; any coarse child makes the parent coarse.
+        """
+        self._check_compatible(other)
+        self.counts += other.counts
+        if other.resolution == RESOLUTION_COARSE:
+            self.resolution = RESOLUTION_COARSE
+
+    def _check_compatible(self, other: "DataCube") -> None:
+        if other.schema.shape != self.schema.shape:
+            raise DimensionError(
+                f"cannot combine cubes of shapes {self.schema.shape} "
+                f"and {other.schema.shape}"
+            )
+
+    # -- query ----------------------------------------------------------
+
+    def cell(
+        self, element_type: str, country: str, road_type: str, update_type: str
+    ) -> int:
+        """Read a single precomputed value."""
+        return int(self.counts[self.schema.encode(element_type, country, road_type, update_type)])
+
+    def aggregate(
+        self,
+        filters: Mapping[str, Sequence[str] | None] | None = None,
+        group_by: Sequence[str] = (),
+    ) -> dict[tuple[str, ...], int]:
+        """Filter and aggregate this cube entirely in memory.
+
+        Parameters
+        ----------
+        filters:
+            Maps axis name (``element_type``/``country``/``road_type``/
+            ``update_type``) to an allowed value list, or ``None`` for
+            no constraint on that axis.
+        group_by:
+            Axis names to keep; all other axes are summed out.
+
+        Returns
+        -------
+        dict
+            Maps a tuple of group-by values (in ``group_by`` order) to
+            the summed count.  With an empty ``group_by`` the single
+            key is the empty tuple.
+        """
+        sub, kept_values = self._select(filters, group_by)
+        result: dict[tuple[str, ...], int] = {}
+        if not group_by:
+            result[()] = int(sub.sum())
+            return result
+        # Sum out every axis not in group_by, then enumerate the rest.
+        flat = sub
+        it: Iterator[tuple[tuple[int, ...], np.integer]] = np.ndenumerate(flat)
+        for idx, value in it:
+            if value == 0:
+                continue
+            group = tuple(kept_values[axis][pos] for axis, pos in enumerate(idx))
+            result[group] = result.get(group, 0) + int(value)
+        return result
+
+    def aggregate_array(
+        self,
+        filters: Mapping[str, Sequence[str] | None] | None = None,
+        group_by: Sequence[str] = (),
+    ) -> tuple[np.ndarray, list[list[str]]]:
+        """Like :meth:`aggregate` but returns the dense reduced array.
+
+        Returns the reduced ndarray (one axis per ``group_by`` entry,
+        in that order) and the value labels along each kept axis.  This
+        is the hot path used by the executor, which accumulates arrays
+        across many cubes before building the final result table.
+        """
+        sub, kept_values = self._select(filters, group_by)
+        return sub, kept_values
+
+    def _select(
+        self,
+        filters: Mapping[str, Sequence[str] | None] | None,
+        group_by: Sequence[str],
+    ) -> tuple[np.ndarray, list[list[str]]]:
+        filters = filters or {}
+        for name in filters:
+            self.schema.axis(name)  # validate names eagerly
+        order = list(self.schema.AXES)
+        for name in group_by:
+            if name not in order:
+                raise DimensionError(f"unknown group-by axis {name!r}")
+        if len(set(group_by)) != len(group_by):
+            raise DimensionError(f"duplicate group-by axis in {group_by!r}")
+
+        sub = self.counts
+        kept_axes: list[str] = []
+        # Apply filters axis by axis via fancy indexing on one axis at
+        # a time (np.ix_ would also work but this keeps slices cheap
+        # when a filter is absent).
+        for axis_pos, name in enumerate(order):
+            allowed = filters.get(name)
+            if allowed is None:
+                continue
+            codes = self.schema.dimension(name).codes(allowed)
+            sub = np.take(sub, codes, axis=axis_pos)
+        # Track the value labels remaining along each axis.
+        labels: list[list[str]] = []
+        for name in order:
+            allowed = filters.get(name)
+            dim = self.schema.dimension(name)
+            labels.append(list(allowed) if allowed is not None else list(dim.values))
+        # Sum out axes not grouped, back to front to keep positions stable.
+        for axis_pos in reversed(range(len(order))):
+            if order[axis_pos] not in group_by:
+                sub = sub.sum(axis=axis_pos)
+                del labels[axis_pos]
+                del order[axis_pos]
+        # Reorder remaining axes to match the requested group_by order.
+        if list(group_by) != order:
+            perm = [order.index(name) for name in group_by]
+            sub = np.transpose(sub, perm)
+            labels = [labels[i] for i in perm]
+            order = list(group_by)
+        kept_axes.extend(order)
+        return sub, labels
+
+    def copy(self) -> "DataCube":
+        return DataCube(
+            schema=self.schema,
+            key=self.key,
+            counts=self.counts.copy(),
+            resolution=self.resolution,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataCube):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.resolution == other.resolution
+            and self.schema.shape == other.schema.shape
+            and bool(np.array_equal(self.counts, other.counts))
+        )
+
+
+def empty_like(cube: DataCube, key: TemporalKey) -> DataCube:
+    """A zeroed cube sharing ``cube``'s schema, covering ``key``."""
+    return DataCube(schema=cube.schema, key=key)
+
+
+def sum_cubes(
+    schema: CubeSchema, key: TemporalKey, children: Iterable[DataCube]
+) -> DataCube:
+    """Roll child cubes up into a parent cube for ``key``.
+
+    This is the paper's index-maintenance step: a weekly cube is the sum
+    of its seven dailies, a monthly cube the sum of four weeklies plus
+    leftover dailies, a yearly cube the sum of twelve monthlies.
+    """
+    parent = DataCube(schema=schema, key=key)
+    for child in children:
+        parent.add(child)
+    return parent

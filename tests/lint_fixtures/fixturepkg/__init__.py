@@ -1,0 +1,7 @@
+"""Deliberately broken package tree exercising every lint rule.
+
+Scanned by ``tests/test_lint.py`` via ``run_lint(package_root=...,
+config=LintConfig(top_package="fixturepkg"))``.  Never imported —
+pytest collects only ``test_*``/``bench_*`` files, and several modules
+here reference undefined names on purpose.
+"""

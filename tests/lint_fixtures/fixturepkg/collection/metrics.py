@@ -1,0 +1,15 @@
+"""Fixture: metric-name hygiene outside the obs packages."""
+
+_K_OK = metric_key("rased_prepared_total")  # noqa: F821  module scope: fine
+
+
+def record(registry) -> None:
+    registry.inc("rased_fixture_total")
+
+
+def inline_key() -> object:
+    return metric_key("rased_inline_total")  # noqa: F821
+
+
+def prepared(registry) -> None:
+    registry.inc_key(_K_OK)

@@ -1,0 +1,12 @@
+"""Fixture: an upward import that is type-only, hence exempt."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from fixturepkg.core.clock import hot_now
+
+
+def annotate(clock: "hot_now") -> None:
+    return None

@@ -1,0 +1,14 @@
+"""Fixture: wall-clock reads in a hot-path package + cycle's other half."""
+
+import time
+from datetime import datetime
+
+from fixturepkg.errors import FIXTURE_ERROR  # noqa: F401  (downward, legal)
+
+
+def hot_now() -> float:
+    return time.time()
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,4 @@
+"""Fixture: axis-order checks in a presentation (non-strict) package."""
+
+PRESENTATION_PARTIAL = ("road_type", "country")
+FULL_BAD = ("country", "element_type", "road_type", "update_type")

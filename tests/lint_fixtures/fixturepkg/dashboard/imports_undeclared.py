@@ -1,0 +1,3 @@
+"""Fixture: importing a package missing from the layer DAG."""
+
+from fixturepkg.notalayer import thing  # noqa: F401

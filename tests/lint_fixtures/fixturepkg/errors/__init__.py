@@ -1,0 +1,5 @@
+"""Fixture: upward import (errors -> core), half of a package cycle."""
+
+from fixturepkg.core.clock import hot_now  # noqa: F401
+
+FIXTURE_ERROR = ValueError

@@ -1,0 +1,43 @@
+"""Fixture: exception-handling and default-argument hygiene."""
+
+
+def swallow() -> None:
+    try:
+        raise ValueError("boom")
+    except Exception:
+        pass
+
+
+def drop() -> int:
+    try:
+        return 1
+    except Exception:
+        return 0
+
+
+def justified() -> int:
+    try:
+        return 1
+    except Exception:  # lint: allow[broad-except] fixture demonstrates suppression
+        return 0
+
+
+def narrow() -> int:
+    try:
+        return 1
+    except ValueError:
+        return 0
+
+
+def bad_default(items=[]) -> list:
+    return items
+
+
+def now() -> float:
+    # Wall clock outside the hot-path packages: must NOT be flagged.
+    import time
+
+    return time.time()
+
+
+# TODO: one tracked fixture comment for the todo rule

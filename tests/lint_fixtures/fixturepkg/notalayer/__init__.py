@@ -1,0 +1,3 @@
+"""Fixture: a package that is missing from the declared layer DAG."""
+
+thing = object()

@@ -1,0 +1,3 @@
+"""Fixture sibling of osm (same DAG level)."""
+
+registry = None

@@ -1,0 +1,3 @@
+"""Fixture: sideways import between same-level siblings (osm -> obs)."""
+
+from fixturepkg.obs import registry  # noqa: F401

@@ -1,0 +1,6 @@
+"""Fixture: axis-order checks in a strict (construction) package."""
+
+BAD_PARTIAL = ("country", "element_type")
+GOOD_FULL = ("element_type", "country", "road_type", "update_type")
+GOOD_PARTIAL = ("element_type", "road_type")
+NOT_A_SCHEMA = ("country", COUNTRY_COUNT)  # noqa: F821  non-literal member

@@ -1,0 +1,289 @@
+"""Tests for the project lint suite (``repro.tools.lint``).
+
+Rule behaviour is pinned against the deliberately broken package tree
+in ``tests/lint_fixtures/fixturepkg`` (one must-flag and one must-pass
+site per rule), and the real ``src/repro`` tree is asserted clean
+against the committed (empty) baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import LintConfig, LintReport, RULES, run_lint
+from repro.tools.lint.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.tools.lint.cli import main as lint_main
+from repro.tools.lint.layering import module_imports
+from repro.tools.lint.model import DEFAULT_LAYERS, load_source_file
+from repro.tools.lint.runner import default_package_root
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_ROOT = Path(__file__).resolve().parent / "lint_fixtures" / "fixturepkg"
+FIXTURE_CONFIG = LintConfig(top_package="fixturepkg")
+
+
+@pytest.fixture(scope="module")
+def fixture_report() -> LintReport:
+    return run_lint(package_root=FIXTURE_ROOT, config=FIXTURE_CONFIG)
+
+
+def _findings(report: LintReport, rule: str):
+    return [f for f in report.findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------- fixtures
+
+
+def test_fixture_tree_rule_counts(fixture_report: LintReport) -> None:
+    counts = Counter(f.rule for f in fixture_report.findings)
+    assert counts == {
+        "layering": 2,
+        "layering-cycle": 1,
+        "layering-undeclared": 2,
+        "lock-guard": 2,
+        "hot-path-clock": 2,
+        "except-pass": 1,
+        "broad-except": 1,
+        "mutable-default": 1,
+        "cube-order": 2,
+        "metric-name": 2,
+        "todo": 1,
+    }
+    assert fixture_report.suppressed == 1
+    assert not fixture_report.ok
+
+
+def test_layering_flags_upward_and_sideways(fixture_report: LintReport) -> None:
+    by_path = {f.path: f.message for f in _findings(fixture_report, "layering")}
+    assert "upward edge" in by_path["errors/__init__.py"]
+    assert "sideways edge" in by_path["osm/__init__.py"]
+
+
+def test_layering_reports_the_cycle_once(fixture_report: LintReport) -> None:
+    (cycle,) = _findings(fixture_report, "layering-cycle")
+    assert "core -> errors -> core" in cycle.message
+
+
+def test_layering_flags_undeclared_packages(fixture_report: LintReport) -> None:
+    paths = {f.path for f in _findings(fixture_report, "layering-undeclared")}
+    # Once for the undeclared package itself, once at the import site.
+    assert paths == {
+        "notalayer/__init__.py",
+        "dashboard/imports_undeclared.py",
+    }
+
+
+def test_type_checking_imports_are_exempt(fixture_report: LintReport) -> None:
+    assert not any(
+        f.path == "collection/pipeline.py" for f in fixture_report.findings
+    )
+    source = load_source_file(
+        FIXTURE_ROOT / "collection" / "pipeline.py", FIXTURE_ROOT, "fixturepkg"
+    )
+    edges = {e.target: e for e in module_imports(source)}
+    assert edges["fixturepkg.core.clock"].type_only
+
+
+def test_lock_guard_flags_only_unguarded_mutations(
+    fixture_report: LintReport,
+) -> None:
+    found = _findings(fixture_report, "lock-guard")
+    assert all(f.path == "core/locks.py" for f in found)
+    contexts = {f.context for f in found}
+    assert contexts == {
+        "self._items[key] = value  # unguarded subscript store",
+        "self._items.pop(key, None)  # unguarded mutator call",
+    }
+    assert all("guarded by self._lock" in f.message for f in found)
+
+
+def test_hot_path_clock_only_in_hot_packages(fixture_report: LintReport) -> None:
+    found = _findings(fixture_report, "hot-path-clock")
+    assert {f.path for f in found} == {"core/clock.py"}
+    assert {f.message.split("(")[0].split()[-1] for f in found} == {
+        "time.time",
+        "datetime.datetime.now",
+    }
+
+
+def test_broad_except_split_and_suppression(fixture_report: LintReport) -> None:
+    (swallowed,) = _findings(fixture_report, "except-pass")
+    (dropped,) = _findings(fixture_report, "broad-except")
+    assert swallowed.path == dropped.path == "geo/hygiene.py"
+    # The `justified()` handler carries `# lint: allow[broad-except]`.
+    assert fixture_report.suppressed == 1
+    assert "allow[broad-except]" not in dropped.context
+
+
+def test_mutable_default(fixture_report: LintReport) -> None:
+    (finding,) = _findings(fixture_report, "mutable-default")
+    assert "bad_default" in finding.message
+
+
+def test_cube_order_strict_vs_presentation(fixture_report: LintReport) -> None:
+    found = _findings(fixture_report, "cube-order")
+    by_path = {f.path: f for f in found}
+    # Strict package: even a 2-axis subset must be ordered.
+    assert "('country', 'element_type')" in by_path["storage/pages.py"].message
+    # Presentation package: partial tuples are a user choice, full order is not.
+    assert "FULL_BAD" in by_path["dashboard/charts.py"].context
+
+
+def test_metric_name_hygiene(fixture_report: LintReport) -> None:
+    found = _findings(fixture_report, "metric-name")
+    assert {f.path for f in found} == {"collection/metrics.py"}
+    messages = " ".join(f.message for f in found)
+    assert ".inc()" in messages  # literal passed to a registry writer
+    assert "inside a function" in messages  # metric_key() not at module scope
+    # The module-level metric_key() constant is NOT among the findings.
+    assert not any("_K_OK" in f.context for f in found)
+
+
+def test_todo_tracking(fixture_report: LintReport) -> None:
+    (finding,) = _findings(fixture_report, "todo")
+    assert finding.path == "geo/hygiene.py"
+    assert "TODO" in finding.message
+
+
+def test_rule_subset_selection() -> None:
+    report = run_lint(
+        package_root=FIXTURE_ROOT, config=FIXTURE_CONFIG, rules=["lock-guard"]
+    )
+    assert {f.rule for f in report.findings} == {"lock-guard"}
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_roundtrip(tmp_path: Path, fixture_report: LintReport) -> None:
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, fixture_report.findings)
+    report = run_lint(
+        package_root=FIXTURE_ROOT, config=FIXTURE_CONFIG, baseline_path=baseline
+    )
+    assert report.ok
+    assert report.baselined == len(fixture_report.findings)
+    assert report.suppressed == fixture_report.suppressed
+
+
+def test_baseline_fingerprints_ignore_line_numbers(
+    fixture_report: LintReport,
+) -> None:
+    for finding in fixture_report.findings:
+        assert str(finding.line) not in finding.fingerprint.split("::")[1:2]
+        assert finding.fingerprint.count("::") == 2
+
+
+def test_baseline_count_budget(tmp_path: Path, fixture_report: LintReport) -> None:
+    # Baseline only ONE of the two lock-guard findings: the other stays fresh.
+    lock_findings = _findings(fixture_report, "lock-guard")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, lock_findings[:1])
+    fresh, baselined = apply_baseline(lock_findings, load_baseline(baseline))
+    assert baselined == 1
+    assert [f.context for f in fresh] == [lock_findings[1].context]
+
+
+def test_baseline_rejects_unknown_version(tmp_path: Path) -> None:
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(bad)
+
+
+def test_missing_baseline_is_empty(tmp_path: Path) -> None:
+    assert load_baseline(tmp_path / "nope.json") == Counter()
+
+
+# ---------------------------------------------------------------- real tree
+
+
+def test_real_tree_is_clean_without_baseline() -> None:
+    report = run_lint(package_root=default_package_root())
+    assert report.findings == []
+    assert report.files_scanned > 50
+
+
+def test_committed_baseline_is_empty() -> None:
+    payload = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert payload == {"version": BASELINE_VERSION, "findings": []}
+
+
+def test_every_source_package_is_declared() -> None:
+    declared = {name for level in DEFAULT_LAYERS for name in level}
+    packages = {
+        child.name
+        for child in default_package_root().iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    }
+    assert packages <= declared
+
+
+# ---------------------------------------------------------------- CLI
+
+
+def test_cli_json_on_fixture_tree(capsys: pytest.CaptureFixture) -> None:
+    # Via --root the default top package ("repro") doesn't match fixture
+    # imports, so layering is quiet — but the hygiene rules still fire.
+    rc = lint_main(
+        ["--root", str(FIXTURE_ROOT), "--no-baseline", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["ok"] is False
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "lock-guard" in rules and "except-pass" in rules
+
+
+def test_cli_real_tree_passes(capsys: pytest.CaptureFixture) -> None:
+    rc = lint_main(["--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["ok"] is True and payload["findings"] == []
+
+
+def test_cli_rejects_unknown_rule(capsys: pytest.CaptureFixture) -> None:
+    rc = lint_main(["--rules", "no-such-rule"])
+    assert rc == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_cli_write_baseline(tmp_path: Path, capsys: pytest.CaptureFixture) -> None:
+    target = tmp_path / "generated.json"
+    rc = lint_main(
+        ["--root", str(FIXTURE_ROOT), "--baseline", str(target), "--write-baseline"]
+    )
+    assert rc == 0
+    payload = json.loads(target.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert payload["findings"]  # fixture hygiene findings got recorded
+    capsys.readouterr()
+
+
+def test_rased_repro_cli_has_lint_subcommand() -> None:
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["lint", "--format", "json"])
+    assert args.format == "json" and callable(args.func)
+
+
+def test_rules_registry_names() -> None:
+    assert set(RULES) == {
+        "layering",
+        "lock-guard",
+        "hot-path-clock",
+        "broad-except",
+        "mutable-default",
+        "cube-order",
+        "metric-name",
+        "todo",
+    }

@@ -12,7 +12,7 @@ from repro.core.executor import QueryExecutor
 from repro.core.hierarchy import HierarchicalIndex
 from repro.core.query import AnalysisQuery
 from repro.collection.geocode import Geocoder
-from repro.collection.live import LiveMonitor, split_change_by_hour
+from repro.core.live import LiveMonitor, split_change_by_hour
 from repro.osm.changesets import ChangesetStore
 from repro.osm.replication import ReplicationFeed
 from repro.storage.disk import InMemoryDisk

@@ -38,6 +38,11 @@ from repro.synth.workload import QueryWorkload
 #: Where write_result_json drops benchmark outputs (.gitignore'd).
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Where the compact, committed snapshots live (``BENCH_<name>.json``
+#: next to the bench scripts).  Unlike RESULTS_DIR these are tracked in
+#: git, so per-PR diffs show how headline numbers moved.
+SNAPSHOT_DIR = Path(__file__).resolve().parent
+
 #: Zones used by the long-horizon benches (reduced country axis).
 BENCH_COUNTRIES = (
     "united_states", "india", "germany", "brazil", "mexico", "france",
@@ -189,6 +194,27 @@ def write_result_json(
         "metrics": registry.snapshot(),
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True, default=str))
+    write_snapshot_json(name, payload)
+    return path
+
+
+def write_snapshot_json(name: str, payload: dict) -> Path:
+    """Write the committed ``BENCH_<name>.json`` snapshot.
+
+    Results only — no metrics registry (whose wall-clock histograms
+    would make every run a spurious diff).  Committing the file after a
+    bench run is a deliberate act; the diff *is* the review artifact.
+    """
+    path = SNAPSHOT_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(
+            {"bench": name, "results": payload},
+            indent=2,
+            sort_keys=True,
+            default=str,
+        )
+        + "\n"
+    )
     return path
 
 

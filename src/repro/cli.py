@@ -44,13 +44,19 @@ from repro.system import RasedSystem, SystemConfig
 __all__ = ["main", "build_parser"]
 
 
-def _open_system(root: str, seed: int = 42, cache_slots: int = 64) -> RasedSystem:
+def _open_system(
+    root: str,
+    seed: int = 42,
+    cache_slots: int = 64,
+    result_cache_slots: int = 0,
+) -> RasedSystem:
     root_path = Path(root)
     store = DirectoryDisk(root_path / "pages")
     config = SystemConfig(
         road_types=12,
         cache_slots=cache_slots,
         simulation=SimulationConfig(seed=seed),
+        result_cache_slots=result_cache_slots,
     )
     return RasedSystem.create(
         root=root_path / "feeds", config=config, store=store
@@ -209,9 +215,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dashboard.server import DashboardServer
 
-    system = _open_system(args.root, cache_slots=args.cache_slots)
+    system = _open_system(
+        args.root,
+        cache_slots=args.cache_slots,
+        result_cache_slots=args.result_cache_slots,
+    )
     system.warm_cache()
-    server = DashboardServer(system.dashboard, host=args.host, port=args.port)
+    server = DashboardServer(
+        system.dashboard,
+        host=args.host,
+        port=args.port,
+        threaded=not args.single_thread,
+    )
     server.start()
     print(f"dashboard API on {server.url} (Ctrl-C to stop)")
     try:
@@ -293,6 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8200)
     serve.add_argument("--cache-slots", type=int, default=64)
+    serve.add_argument(
+        "--result-cache-slots",
+        type=int,
+        default=256,
+        help="memoized whole-result cache slots (0 disables)",
+    )
+    serve.add_argument(
+        "--single-thread",
+        action="store_true",
+        help="serve requests serially (concurrency baseline)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser(

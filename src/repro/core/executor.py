@@ -31,6 +31,7 @@ from repro.core.cache import HIT_KEYS, MISS_KEYS, CacheManager
 from repro.core.calendar import TemporalKey, series_periods
 from repro.core.cube import DataCube
 from repro.core.hierarchy import HierarchicalIndex
+from repro.core.iosched import IOScheduler
 from repro.core.optimizer import LevelOptimizer, QueryPlan
 from repro.core.percentages import NetworkSizeRegistry
 from repro.core.query import (
@@ -39,6 +40,7 @@ from repro.core.query import (
     QueryResult,
     QueryStats,
 )
+from repro.core.resultcache import ResultCache
 from repro.errors import QueryError
 from repro.obs import MetricsRegistry, QueryTrace, get_registry, metric_key
 
@@ -64,17 +66,34 @@ class QueryExecutor:
         optimizer: LevelOptimizer | None = None,
         network_sizes: NetworkSizeRegistry | None = None,
         metrics: MetricsRegistry | None = None,
+        iosched: IOScheduler | None = None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         self.index = index
         self.cache = cache
         self.optimizer = optimizer or LevelOptimizer(index)
         self.network_sizes = network_sizes
         self.metrics = metrics if metrics is not None else get_registry()
+        #: When set, phase 1 overlaps a plan's disk reads on the
+        #: scheduler's pool (with single-flight dedup across queries);
+        #: when ``None``, fetching is the original serial loop.
+        self.iosched = iosched
+        #: When set, whole results are memoized keyed by the (frozen)
+        #: query and invalidated by the index epoch.
+        self.result_cache = result_cache
 
     # -- public API -----------------------------------------------------
 
     def execute(self, query: AnalysisQuery) -> QueryResult:
         started = time.perf_counter()
+        epoch = 0
+        if self.result_cache is not None:
+            memo_rows = self.result_cache.get(query)
+            if memo_rows is not None:
+                return self._memoized_result(query, memo_rows, started)
+            # Sampled before planning: a maintenance write racing this
+            # execution makes the stored entry stale, never wrong.
+            epoch = self.result_cache.current_epoch()
         disk_before = self.index.store.stats.snapshot()
         stats = QueryStats()
         # The describe() call is deferred until the trace is rendered.
@@ -96,6 +115,20 @@ class QueryExecutor:
         disk_delta = self.index.store.stats.delta(disk_before)
         stats.simulated_seconds = disk_delta.simulated_seconds + stats.wall_seconds
         self._record_query_metrics(stats)
+        if self.result_cache is not None:
+            self.result_cache.put(query, rows, epoch)
+        return QueryResult(query=query, rows=rows, stats=stats)
+
+    def _memoized_result(
+        self, query: AnalysisQuery, rows: dict, started: float
+    ) -> QueryResult:
+        """Shape a result-cache hit (already a private rows copy)."""
+        stats = QueryStats()
+        stats.trace = QueryTrace(query.describe)
+        stats.trace.meta["result_cache"] = "hit"
+        stats.wall_seconds = time.perf_counter() - started
+        stats.simulated_seconds = stats.wall_seconds
+        self._record_query_metrics(stats)
         return QueryResult(query=query, rows=rows, stats=stats)
 
     def _record_query_metrics(self, stats: QueryStats) -> None:
@@ -107,6 +140,8 @@ class QueryExecutor:
             missing_days=stats.missing_days,
             simulated_ms=round(stats.simulated_ms, 3),
         )
+        if stats.coalesced_reads:
+            trace.meta["coalesced_reads"] = stats.coalesced_reads
         incs = [(_K_QUERIES, 1.0)]
         if stats.cache_hits:
             incs.append((_K_CUBES_CACHE, stats.cache_hits))
@@ -150,7 +185,8 @@ class QueryExecutor:
         plan_started = time.perf_counter()
         plan = self.plan(query)
         stats.trace.add("phase1.plan", time.perf_counter() - plan_started)
-        accumulated, labels = self._aggregate_plan(plan, query, stats)
+        fetched = self._prefetch(plan.keys, stats)
+        accumulated, labels = self._aggregate_plan(plan, query, stats, fetched)
         if accumulated is None:
             return {}
         return self._rows_from_array(query, accumulated, labels, period=None)
@@ -165,14 +201,55 @@ class QueryExecutor:
         cached_starts = sorted(key.start for key in cached)
         trace.add("phase1.plan", time.perf_counter() - plan_started, count=0)
         trace.meta["periods"] = len(periods)
+        # An admit-on-miss cache changes under the query's own feet:
+        # every period's misses are admitted (evicting LRU entries), so
+        # planning all periods against the initial snapshot would treat
+        # long-evicted cubes as free.  Re-snapshot before each period
+        # instead.  A static cache (the paper's policy) cannot change
+        # mid-query, so all periods are planned up front and their disk
+        # keys fetched as ONE overlapped batch.
+        refresh = (
+            self.cache is not None
+            and self.cache.admit_on_miss
+            and self.cache.slots > 0
+        )
         rows: dict[tuple, float] = {}
+        if refresh or self.iosched is None:
+            first = True
+            for window_start, window_end in periods:
+                plan_started = time.perf_counter()
+                if refresh and not first:
+                    cached = self.cache.contents()
+                    cached_starts = sorted(key.start for key in cached)
+                first = False
+                plan = self.optimizer.plan(
+                    window_start, window_end, cached, cached_starts
+                )
+                trace.add("phase1.plan", time.perf_counter() - plan_started)
+                fetched = self._prefetch(plan.keys, stats)
+                accumulated, labels = self._aggregate_plan(
+                    plan, query, stats, fetched
+                )
+                if accumulated is None:
+                    continue
+                rows.update(
+                    self._rows_from_array(
+                        query, accumulated, labels, period=window_start
+                    )
+                )
+            return rows
+        plans: list[tuple[date, QueryPlan]] = []
         for window_start, window_end in periods:
             plan_started = time.perf_counter()
             plan = self.optimizer.plan(
                 window_start, window_end, cached, cached_starts
             )
             trace.add("phase1.plan", time.perf_counter() - plan_started)
-            accumulated, labels = self._aggregate_plan(plan, query, stats)
+            plans.append((window_start, plan))
+        all_keys = [key for _, plan in plans for key in plan.keys]
+        fetched = self._prefetch(all_keys, stats)
+        for window_start, plan in plans:
+            accumulated, labels = self._aggregate_plan(plan, query, stats, fetched)
             if accumulated is None:
                 continue
             rows.update(
@@ -183,6 +260,68 @@ class QueryExecutor:
         return rows
 
     # -- phases -----------------------------------------------------------
+
+    def _prefetch(
+        self, keys: list[TemporalKey], stats: QueryStats
+    ) -> dict[TemporalKey, DataCube] | None:
+        """Overlapped phase-1 fetch of every key (``None`` when serial).
+
+        The cache sweep stays serial (it is pure dict lookups); only
+        the misses go to the I/O scheduler, which overlaps their page
+        reads and coalesces duplicates in flight across concurrent
+        queries.  Loads this call *led* are then rebooked on the store
+        as one concurrent batch so the virtual clock charges the
+        queue-depth makespan instead of the serial sum.
+        """
+        if self.iosched is None or not keys:
+            return None
+        keys = list(dict.fromkeys(keys))
+        fetched: dict[TemporalKey, DataCube] = {}
+        misses: list[TemporalKey] = []
+        if self.cache is not None:
+            sweep_started = time.perf_counter()
+            hits = 0
+            for key in keys:
+                cube = self.cache.get(key)
+                if cube is None:
+                    misses.append(key)
+                    continue
+                hits += 1
+                by_level = stats.cache_hits_by_level
+                by_level[key.level] = by_level.get(key.level, 0) + 1
+                fetched[key] = cube
+            stats.cache_hits += hits
+            if hits:
+                stats.trace.add(
+                    "phase1.fetch.cache",
+                    time.perf_counter() - sweep_started,
+                    hits,
+                )
+        else:
+            misses = keys
+        if misses:
+            disk_started = time.perf_counter()
+            batch = self.iosched.fetch_many(misses, self._load_cube)
+            self.index.store.rebook_overlapped_reads(batch.led)
+            stats.trace.add(
+                "phase1.fetch.disk",
+                time.perf_counter() - disk_started,
+                len(misses),
+            )
+            stats.coalesced_reads += batch.coalesced
+            for key in misses:
+                fetched[key] = batch.values[key]
+                stats.disk_reads += 1
+                by_level = stats.disk_reads_by_level
+                by_level[key.level] = by_level.get(key.level, 0) + 1
+        return fetched
+
+    def _load_cube(self, key: TemporalKey) -> DataCube:
+        """Scheduler load callback: one page read plus cache admission."""
+        cube = self.index.get(key)
+        if self.cache is not None:
+            self.cache.admit(cube)
+        return cube
 
     def _fetch(
         self, key: TemporalKey, stats: QueryStats
@@ -225,7 +364,11 @@ class QueryExecutor:
         return filters
 
     def _aggregate_plan(
-        self, plan: QueryPlan, query: AnalysisQuery, stats: QueryStats
+        self,
+        plan: QueryPlan,
+        query: AnalysisQuery,
+        stats: QueryStats,
+        fetched: dict[TemporalKey, DataCube] | None = None,
     ) -> tuple[np.ndarray | None, list[list[str]]]:
         stats.cube_count += plan.cube_count
         stats.missing_days += len(plan.missing_days)
@@ -233,6 +376,22 @@ class QueryExecutor:
         group_by = query.cube_group_by
         accumulated: np.ndarray | None = None
         labels: list[list[str]] = []
+        if fetched is not None:
+            # Phase 1 already ran (overlapped); this is pure phase 2.
+            agg_started = time.perf_counter()
+            for key in plan.keys:
+                partial, labels = fetched[key].aggregate_array(filters, group_by)
+                if accumulated is None:
+                    accumulated = partial.astype(np.int64, copy=True)
+                else:
+                    accumulated += partial
+            if plan.keys:
+                stats.trace.add(
+                    "phase2.aggregate",
+                    time.perf_counter() - agg_started,
+                    len(plan.keys),
+                )
+            return accumulated, labels
         # Chained timestamps (each cube's end is the next cube's start)
         # and local accumulators keep the per-cube cost to two clock
         # reads; the trace is updated once per phase after the loop.

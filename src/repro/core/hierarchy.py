@@ -28,7 +28,7 @@ level) behind the paper's Fig. 8.
 from __future__ import annotations
 
 import re
-from collections import defaultdict
+import threading
 from datetime import date
 from typing import TYPE_CHECKING, Mapping
 
@@ -50,6 +50,7 @@ from repro.storage.serializer import deserialize_cube, serialize_cube
 
 if TYPE_CHECKING:  # avoid core -> collection import cycle at runtime
     from repro.collection.records import UpdateList
+    from repro.core.resultcache import EpochCounter
 
 __all__ = ["HierarchicalIndex", "page_id_for", "parse_page_key"]
 
@@ -114,6 +115,7 @@ class HierarchicalIndex:
         levels: tuple[Level, ...] = (Level.DAY, Level.WEEK, Level.MONTH, Level.YEAR),
         prefix: str = _PAGE_PREFIX,
         compress: bool = False,
+        epoch: "EpochCounter | None" = None,
     ) -> None:
         if Level.DAY not in levels:
             raise IndexError_("the index must include the daily level")
@@ -125,14 +127,24 @@ class HierarchicalIndex:
         #: Write cube pages zlib-compressed (ablation option; reads
         #: auto-detect either format).
         self.compress = compress
+        #: Bumped on every cube write so versioned consumers (the
+        #: executor's result cache) can invalidate; optional.
+        self.epoch = epoch
+        # Maintenance (put) and concurrent queries (keys/coverage
+        # sorts) touch the catalog at once in a threaded deployment.
+        self._catalog_lock = threading.Lock()
         #: Keys known to exist, by level (kept in sync with the store).
-        self._catalog: dict[Level, set[TemporalKey]] = defaultdict(set)
+        #: Pre-seeded per level so lookups never mutate the dict.
+        self._catalog: dict[Level, set[TemporalKey]] = {
+            level: set() for level in Level
+        }  # guarded-by: _catalog_lock
         self._load_catalog()
 
     def _load_catalog(self) -> None:
-        for page_id in self.store.list_pages(self.prefix + "/"):
-            key = parse_page_key(page_id, self.prefix)
-            self._catalog[key.level].add(key)
+        with self._catalog_lock:
+            for page_id in self.store.list_pages(self.prefix + "/"):
+                key = parse_page_key(page_id, self.prefix)
+                self._catalog[key.level].add(key)
 
     # -- raw cube access ---------------------------------------------------
 
@@ -156,14 +168,20 @@ class HierarchicalIndex:
             page_id_for(cube.key, self.prefix),
             serialize_cube(cube, compress=self.compress),
         )
-        self._catalog[cube.key.level].add(cube.key)
+        with self._catalog_lock:
+            self._catalog[cube.key.level].add(cube.key)
+        if self.epoch is not None:
+            self.epoch.bump()
 
     def keys(self, level: Level) -> list[TemporalKey]:
-        return sorted(self._catalog[level], key=lambda k: (k.start, k.level))
+        with self._catalog_lock:
+            present = list(self._catalog[level])
+        return sorted(present, key=lambda k: (k.start, k.level))
 
     def coverage(self) -> tuple[date, date] | None:
         """Span of ingested days, or ``None`` when empty."""
-        days = self._catalog[Level.DAY]
+        with self._catalog_lock:
+            days = list(self._catalog[Level.DAY])
         if not days:
             return None
         ordered = sorted(days, key=lambda k: k.start)
@@ -302,10 +320,12 @@ class HierarchicalIndex:
     # -- storage accounting (Fig. 8) ------------------------------------------
 
     def pages_per_level(self) -> dict[Level, int]:
-        return {level: len(self._catalog[level]) for level in self.levels}
+        with self._catalog_lock:
+            return {level: len(self._catalog[level]) for level in self.levels}
 
     def total_pages(self) -> int:
-        return sum(len(keys) for keys in self._catalog.values())
+        with self._catalog_lock:
+            return sum(len(keys) for keys in self._catalog.values())
 
     def storage_bytes(self) -> int:
         """Total bytes of all cube pages (header + 8 B per cell each)."""

@@ -1,0 +1,165 @@
+"""Bounded-pool I/O scheduler with single-flight deduplication.
+
+The executor's phase 1 is disk-bound: a cold 16-year plan touches ~16
+cube pages, and fetching them strictly one-at-a-time makes latency
+linear in plan size.  This module overlaps those fetches on a small
+thread pool — the modeled counterpart is the disk's queue depth
+(:meth:`repro.storage.pages.PageStore.rebook_overlapped_reads`), which
+converts the serially charged virtual latency into the batch makespan.
+
+Under many concurrent dashboard clients a second pathology appears:
+N queries missing the *same* cube issue N identical disk reads and N
+cache admissions (a cache stampede).  :meth:`IOScheduler.fetch` is
+therefore **single-flight**: the first caller of a key becomes the
+leader and performs the load; every concurrent caller of the same key
+blocks on the leader's :class:`~concurrent.futures.Future` and shares
+its result (or its exception).  Leadership is decided by whichever
+caller is *running* — never at submit time — so a follower's leader is
+always already executing and the pool cannot deadlock on itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, get_registry, metric_key
+
+__all__ = ["IOScheduler", "FetchBatch", "DEFAULT_IO_WORKERS"]
+
+#: Pool width: enough to cover a modeled queue depth of 4-8 without
+#: spawning a thread per plan key.
+DEFAULT_IO_WORKERS = 8
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_K_FETCHES = metric_key("rased_iosched_fetches_total")
+_K_COALESCED = metric_key("rased_iosched_coalesced_total")
+_K_BATCHES = metric_key("rased_iosched_batches_total")
+_K_INFLIGHT_PEAK = metric_key("rased_iosched_inflight_peak")
+_K_BATCH_SIZE = metric_key("rased_iosched_batch_size")
+_K_BATCH_SECONDS = metric_key("rased_iosched_batch_seconds")
+
+
+@dataclass
+class FetchBatch:
+    """Outcome of one :meth:`IOScheduler.fetch_many` call."""
+
+    #: key -> loaded value, for every requested key.
+    values: dict = field(default_factory=dict)
+    #: Loads this batch actually performed (led).
+    led: int = 0
+    #: Keys that piggybacked on another caller's in-flight load.
+    coalesced: int = 0
+
+
+class IOScheduler:
+    """A shared thread pool issuing page loads with stampede protection.
+
+    One scheduler serves a whole deployment: the pool bounds total
+    fetch concurrency across *all* concurrent queries, and the
+    in-flight table deduplicates loads across them.  ``load`` callables
+    must be thread-safe (the index read path and cache admission are).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_IO_WORKERS,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigError("IOScheduler needs at least one worker")
+        self.max_workers = max_workers
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="rased-io"
+        )
+        self._lock = threading.Lock()
+        #: In-flight loads by key; the entry's creator is the leader.
+        self._inflight: dict[Hashable, Future] = {}  # guarded-by: _lock
+
+    # -- single-flight core -------------------------------------------------
+
+    def fetch(self, key: K, load: Callable[[K], V]) -> tuple[V, bool]:
+        """Load ``key``, coalescing with any in-flight load of it.
+
+        Returns ``(value, led)`` where ``led`` says whether this call
+        performed the load itself (exactly one caller per concurrent
+        group does).  A leader's exception propagates to every caller.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            leader = future is None
+            if leader:
+                future = Future()
+                self._inflight[key] = future
+            depth = len(self._inflight)
+        metrics = self.metrics
+        metrics.inc_key(_K_FETCHES)
+        metrics.peak_key(_K_INFLIGHT_PEAK, depth)
+        if not leader:
+            metrics.inc_key(_K_COALESCED)
+            return future.result(), False
+        try:
+            value = load(key)
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        else:
+            future.set_result(value)
+            return value, True
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def fetch_many(
+        self, keys: Iterable[K], load: Callable[[K], V]
+    ) -> FetchBatch:
+        """Load every key, overlapping the loads on the pool.
+
+        Single-key batches run inline (no pool round-trip); larger
+        batches fan out, each key still going through the
+        single-flight table so concurrent batches share work.
+        """
+        unique = list(dict.fromkeys(keys))
+        batch = FetchBatch()
+        if not unique:
+            return batch
+        started = time.perf_counter()
+        if len(unique) == 1:
+            outcomes = [(unique[0], self.fetch(unique[0], load))]
+        else:
+            submitted = [
+                (key, self._pool.submit(self.fetch, key, load))
+                for key in unique
+            ]
+            outcomes = [(key, future.result()) for key, future in submitted]
+        for key, (value, led) in outcomes:
+            batch.values[key] = value
+            if led:
+                batch.led += 1
+            else:
+                batch.coalesced += 1
+        self.metrics.record_batch(
+            incs=((_K_BATCHES, 1.0),),
+            observes=(
+                (_K_BATCH_SIZE, float(len(unique))),
+                (_K_BATCH_SECONDS, time.perf_counter() - started),
+            ),
+        )
+        return batch
+
+    # -- introspection / lifecycle ------------------------------------------
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def shutdown(self) -> None:
+        """Stop the pool (idempotent; running loads finish first)."""
+        self._pool.shutdown(wait=True)

@@ -16,7 +16,9 @@ after-image source, so the counts agree; validated in the tests).
 
 from __future__ import annotations
 
+import threading
 from datetime import date, datetime, timedelta, timezone
+from typing import TYPE_CHECKING
 
 from repro.collection.daily import DailyCrawler, DailyCrawlResult
 from repro.collection.geocode import Geocoder
@@ -28,6 +30,9 @@ from repro.osm.xml_io import OsmChange
 from repro.types.cube import DataCube, RESOLUTION_COARSE
 from repro.types.dimensions import CubeSchema
 from repro.types.temporal import day_key, series_period_start
+
+if TYPE_CHECKING:
+    from repro.core.resultcache import EpochCounter
 
 __all__ = ["LiveMonitor", "split_change_by_hour"]
 
@@ -57,14 +62,22 @@ class LiveMonitor:
         geocoder: Geocoder,
         schema: CubeSchema,
         atlas: ZoneAtlas | None = None,
+        epoch: "EpochCounter | None" = None,
     ) -> None:
         self.hour_feed = hour_feed
         self.schema = schema
         self.atlas = atlas
+        #: Bumped whenever absorbed/discarded overlays change what a
+        #: live query would answer (memoized results must invalidate).
+        self.epoch = epoch
         self._crawler = DailyCrawler(hour_feed, changesets, geocoder)
+        # poll() mutates crawler cursor state; a second lock keeps the
+        # overlay map usable by queries while a poll is in progress.
+        self._poll_lock = threading.Lock()
+        self._lock = threading.Lock()
         #: Partial cubes per day, newest last (today plus any day whose
         #: daily diff has not been ingested yet).
-        self._partial: dict[date, DataCube] = {}
+        self._partial: dict[date, DataCube] = {}  # guarded-by: _lock
         self.hours_processed = 0
         self.updates_seen = 0
 
@@ -72,16 +85,17 @@ class LiveMonitor:
 
     def poll(self) -> int:
         """Crawl newly published hourly diffs; returns hours processed."""
-        processed = 0
-        for sequence, timestamp, change in self.hour_feed.iter_since(
-            self._crawler.last_sequence
-        ):
-            result = DailyCrawlResult(sequence=sequence, timestamp=timestamp)
-            self._crawler.process_change(change, result)
-            self._absorb(result)
-            self._crawler.last_sequence = sequence
-            processed += 1
-        self.hours_processed += processed
+        with self._poll_lock:
+            processed = 0
+            for sequence, timestamp, change in self.hour_feed.iter_since(
+                self._crawler.last_sequence
+            ):
+                result = DailyCrawlResult(sequence=sequence, timestamp=timestamp)
+                self._crawler.process_change(change, result)
+                self._absorb(result)
+                self._crawler.last_sequence = sequence
+                processed += 1
+            self.hours_processed += processed
         return processed
 
     def _absorb(self, result: DailyCrawlResult) -> None:
@@ -92,36 +106,49 @@ class LiveMonitor:
             by_day.setdefault(record.date, UpdateList()).append(record)
             self.updates_seen += 1
         for day, updates in by_day.items():
-            cube = self._partial.get(day)
-            if cube is None:
-                cube = DataCube(
-                    schema=self.schema,
-                    key=day_key(day),
-                    resolution=RESOLUTION_COARSE,
-                )
-                self._partial[day] = cube
             coded = updates.cube_coordinates(self.schema, self.atlas)
-            if len(coded):
-                cube.bulk_record(coded)
+            # Cube creation *and* recording stay under the lock: a
+            # concurrent overlay must never read a half-updated cube.
+            with self._lock:
+                cube = self._partial.get(day)
+                if cube is None:
+                    cube = DataCube(
+                        schema=self.schema,
+                        key=day_key(day),
+                        resolution=RESOLUTION_COARSE,
+                    )
+                    self._partial[day] = cube
+                if len(coded):
+                    cube.bulk_record(coded)
+        if by_day and self.epoch is not None:
+            self.epoch.bump()
 
     # -- lifecycle ----------------------------------------------------------
 
     def partial_days(self) -> list[date]:
-        return sorted(self._partial)
+        with self._lock:
+            return sorted(self._partial)
 
     def partial_cube(self, day: date) -> DataCube | None:
         return self._partial.get(day)
 
     def discard_day(self, day: date) -> bool:
         """Drop a day's overlay once the daily pipeline ingested it."""
-        return self._partial.pop(day, None) is not None
+        with self._lock:
+            dropped = self._partial.pop(day, None) is not None
+        if dropped and self.epoch is not None:
+            self.epoch.bump()
+        return dropped
 
     def discard_through(self, day: date) -> int:
         """Drop every overlay up to and including ``day``."""
         dropped = 0
-        for stale in [d for d in self._partial if d <= day]:
-            del self._partial[stale]
-            dropped += 1
+        with self._lock:
+            for stale in [d for d in self._partial if d <= day]:
+                del self._partial[stale]
+                dropped += 1
+        if dropped and self.epoch is not None:
+            self.epoch.bump()
         return dropped
 
     # -- query overlay ---------------------------------------------------------
@@ -145,16 +172,19 @@ class LiveMonitor:
             and self.atlas is not None
         ):
             filters["country"] = tuple(z.name for z in self.atlas.countries)
-        for day, cube in self._partial.items():
-            if not query.start <= day <= query.end:
-                continue
-            partial = cube.aggregate(filters, query.cube_group_by)
-            for group, count in partial.items():
-                if count == 0:
+        # Aggregate under the lock: a concurrent _absorb may be
+        # bulk-recording into the same (small) cubes.
+        with self._lock:
+            for day, cube in self._partial.items():
+                if not query.start <= day <= query.end:
                     continue
-                key = self._row_key(query, group, day)
-                result.rows[key] = result.rows.get(key, 0) + count
-            applied += 1
+                partial = cube.aggregate(filters, query.cube_group_by)
+                for group, count in partial.items():
+                    if count == 0:
+                        continue
+                    key = self._row_key(query, group, day)
+                    result.rows[key] = result.rows.get(key, 0) + count
+                applied += 1
         return applied
 
     @staticmethod

@@ -118,6 +118,9 @@ class QueryStats:
     cube_count: int = 0
     cache_hits: int = 0
     disk_reads: int = 0
+    #: Of ``disk_reads``, how many coalesced onto another in-flight
+    #: query's read instead of touching the device (single-flight).
+    coalesced_reads: int = 0
     missing_days: int = 0
     #: Per-temporal-level fetch accounting (Level -> cube count); the
     #: executor flushes these into the metrics registry once per query.

@@ -1,0 +1,126 @@
+"""Versioned memoization of whole query results.
+
+The many-users case RASED is built for (Section VIII) is dominated by
+*identical* requests: every dashboard visitor loads the same default
+charts.  Re-planning and re-aggregating those is pure waste, so the
+executor can sit a small :class:`ResultCache` in front of
+``execute()``: a bounded LRU from :class:`AnalysisQuery` (a frozen,
+hashable dataclass) to the finished row table.
+
+Correctness is versioned, not timed.  Every entry records the index
+**epoch** — a monotonic counter bumped by whatever changes query
+results: daily ingestion, monthly rebuilds, and live-poll absorption
+(see :class:`EpochCounter` call sites in ``core.hierarchy``,
+``core.live`` and ``repro.system``).  An entry stored at epoch *e* is
+served only while the epoch still reads *e*; the first lookup after a
+bump drops it and falls through to real execution.  The epoch is
+sampled *before* planning, so a bump racing a long execution marks the
+freshly stored entry stale rather than serving pre-bump data forever.
+
+Hits hand out a **copy** of the stored rows: callers (the live-overlay
+path in particular) mutate result rows in place, and a shared dict
+would let one client's overlay leak into everyone's answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.query import AnalysisQuery
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, get_registry, metric_key
+
+__all__ = ["EpochCounter", "ResultCache"]
+
+_K_HITS = metric_key("rased_resultcache_hits_total")
+_K_MISSES = metric_key("rased_resultcache_misses_total")
+_K_INVALIDATIONS = metric_key("rased_resultcache_invalidations_total")
+_K_EVICTIONS = metric_key("rased_resultcache_evictions_total")
+
+
+class EpochCounter:
+    """A monotonic version number for the queryable state of an index."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0  # guarded-by: _lock
+
+    def bump(self) -> int:
+        """Advance the epoch; called by every write that alters results."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class ResultCache:
+    """Bounded LRU of finished query rows, invalidated by epoch."""
+
+    def __init__(
+        self,
+        slots: int,
+        epoch: EpochCounter,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ConfigError("result cache needs at least one slot")
+        self.slots = slots
+        self.epoch = epoch
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._lock = threading.Lock()
+        #: query -> (epoch at plan time, private copy of the rows).
+        self._entries: OrderedDict[AnalysisQuery, tuple[int, dict]] = (
+            OrderedDict()
+        )  # guarded-by: _lock
+
+    def current_epoch(self) -> int:
+        """The epoch an about-to-run execution should store under."""
+        return self.epoch.value
+
+    def get(self, query: AnalysisQuery) -> dict | None:
+        """A copy of the memoized rows, or ``None`` on miss/stale."""
+        now = self.epoch.value
+        stale = False
+        with self._lock:
+            entry = self._entries.get(query)
+            if entry is not None and entry[0] != now:
+                self._entries.pop(query, None)
+                entry = None
+                stale = True
+            if entry is not None:
+                self._entries.move_to_end(query)
+                rows = dict(entry[1])
+        metrics = self.metrics
+        if stale:
+            metrics.inc_key(_K_INVALIDATIONS)
+        if entry is None:
+            metrics.inc_key(_K_MISSES)
+            return None
+        metrics.inc_key(_K_HITS)
+        return rows
+
+    def put(self, query: AnalysisQuery, rows: dict, epoch: int) -> None:
+        """Store rows computed at ``epoch`` (copied; LRU-evicting)."""
+        if epoch != self.epoch.value:
+            return  # the world moved on mid-execution; don't poison
+        evicted = 0
+        with self._lock:
+            self._entries[query] = (epoch, dict(rows))
+            self._entries.move_to_end(query)
+            while len(self._entries) > self.slots:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.metrics.inc_key(_K_EVICTIONS, evicted)
+
+    @property
+    def cached_count(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -19,8 +19,12 @@ framework, per the offline constraint):
 * ``GET /metrics`` — the deployment's metrics registry in Prometheus
   text exposition format (``?format=json`` for the JSON snapshot).
 
-The server is synchronous and single-threaded by design — RASED's
-query latency is milliseconds, so a demo deployment doesn't need more.
+The server is threaded by default (one thread per in-flight request,
+via :class:`http.server.ThreadingHTTPServer`): RASED's pitch is a
+dashboard under heavy concurrent traffic, and the whole query path —
+executor, cube cache, I/O scheduler, result cache, metrics — is
+thread-safe.  Pass ``threaded=False`` for the old single-threaded
+behaviour (the concurrency bench uses it as its baseline).
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ import json
 import threading
 import time
 from datetime import date
-from http.server import BaseHTTPRequestHandler, HTTPServer
+from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.baseline.sqlgen import to_sql
@@ -270,12 +274,36 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": str(exc)})
 
 
-class DashboardServer:
-    """Threaded wrapper so tests and examples can serve + query."""
+class _ThreadedServer(ThreadingHTTPServer):
+    #: Request threads die with the process (stop() still joins them
+    #: gracefully via shutdown); a burst of 64 concurrent clients must
+    #: not be refused at the accept queue.
+    daemon_threads = True
+    request_queue_size = 128
 
-    def __init__(self, dashboard: Dashboard, host: str = "127.0.0.1", port: int = 0):
+
+class _SerialServer(HTTPServer):
+    request_queue_size = 128
+
+
+class DashboardServer:
+    """Background-thread wrapper so tests and examples can serve + query.
+
+    ``threaded=True`` (the default) serves each request on its own
+    thread; ``threaded=False`` keeps the serial accept-handle-respond
+    loop as a measurable baseline.
+    """
+
+    def __init__(
+        self,
+        dashboard: Dashboard,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        threaded: bool = True,
+    ):
         handler = type("BoundHandler", (_Handler,), {"dashboard": dashboard})
-        self._http = HTTPServer((host, port), handler)
+        server_cls = _ThreadedServer if threaded else _SerialServer
+        self._http = server_cls((host, port), handler)
         self._thread: threading.Thread | None = None
 
     @property

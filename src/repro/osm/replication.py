@@ -14,6 +14,7 @@ reading state files, exactly as a pyosmium-based crawler would.
 
 from __future__ import annotations
 
+import os
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterator
@@ -59,6 +60,19 @@ def _format_state(sequence: int, timestamp: datetime) -> str:
     return f"#{stamp}\nsequenceNumber={sequence}\ntimestamp={stamp}\n"
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write-then-rename so concurrent readers never see a torn file.
+
+    A live monitor polls ``state.txt`` while the publisher rewrites it;
+    plain ``write_text`` truncates first, so a poll landing in that
+    window reads an empty file.  (Planet.osm servers publish state
+    files the same way.)
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
 class ReplicationFeed:
     """One granularity's replication directory (e.g. ``.../day``).
 
@@ -85,12 +99,18 @@ class ReplicationFeed:
         rel = sequence_path(next_sequence)
         osc_path = self.root / f"{rel}.osc"
         osc_path.parent.mkdir(parents=True, exist_ok=True)
-        write_osc(osc_path, change)
+        # Publish order matters under concurrent polling: the diff and
+        # its per-diff state land (atomically) before the top-level
+        # state.txt advances, so every sequence <= newest is complete.
+        osc_tmp = osc_path.with_name(osc_path.name + ".tmp")
+        write_osc(osc_tmp, change)
+        os.replace(osc_tmp, osc_path)
         state_text = _format_state(next_sequence, timestamp)
-        osc_path.with_name(osc_path.stem.split(".")[0] + ".state.txt").write_text(
-            state_text
+        _atomic_write_text(
+            osc_path.with_name(osc_path.stem.split(".")[0] + ".state.txt"),
+            state_text,
         )
-        (self.root / "state.txt").write_text(state_text)
+        _atomic_write_text(self.root / "state.txt", state_text)
         return next_sequence
 
     # -- read side -------------------------------------------------------

@@ -23,8 +23,10 @@ a 4 MB page read, ~6 ms for a write.
 
 from __future__ import annotations
 
+import math
 import os
 import re
+import threading
 import time
 from pathlib import Path
 from typing import Iterator
@@ -45,6 +47,7 @@ _K_READ_BYTES = metric_key("rased_disk_read_bytes_total")
 _K_WRITES = metric_key("rased_disk_writes_total")
 _K_WRITE_BYTES = metric_key("rased_disk_write_bytes_total")
 _K_SIM_SECONDS = metric_key("rased_disk_simulated_seconds_total")
+_K_OVERLAP_CREDIT = metric_key("rased_disk_overlap_credit_seconds_total")
 
 
 class _LatencyMixin(PageStore):
@@ -55,6 +58,20 @@ class _LatencyMixin(PageStore):
     into the monotonic shared metrics registry (dashboards, ops).  A
     :class:`repro.system.RasedSystem` rebinds :attr:`metrics` to its
     private registry at assembly time.
+
+    ``parallelism`` is the modeled queue depth.  Reads are still
+    charged serially as they happen (device order is unknowable at
+    charge time); a caller that issued a batch concurrently then calls
+    :meth:`rebook_overlapped_reads` to convert the serial charge into
+    the batch makespan, ``ceil(n / parallelism) * read_latency``.  At
+    the default depth of 1 the rebook is a no-op, which keeps every
+    serial experiment's numbers bit-identical.
+
+    ``real_sleep`` makes each I/O actually block for its modeled
+    latency (releasing the GIL), which is how end-to-end throughput
+    benches observe true request overlap on one machine.  The sleep
+    happens *outside* the stats lock so concurrent I/Os overlap their
+    sleeps the way real in-flight disk requests would.
     """
 
     def __init__(
@@ -63,19 +80,26 @@ class _LatencyMixin(PageStore):
         write_latency: float = DEFAULT_WRITE_LATENCY,
         real_sleep: bool = False,
         metrics: MetricsRegistry | None = None,
+        parallelism: int = 1,
     ) -> None:
         super().__init__()
         if read_latency < 0 or write_latency < 0:
             raise ConfigError("disk latencies must be non-negative")
+        if parallelism < 1:
+            raise ConfigError("disk parallelism must be >= 1")
         self.read_latency = read_latency
         self.write_latency = write_latency
         self.real_sleep = real_sleep
+        self.parallelism = parallelism
         self.metrics = metrics if metrics is not None else get_registry()
+        # Serializes DiskStats updates; the registry has its own lock.
+        self._stats_lock = threading.Lock()
 
     def _charge_read(self, nbytes: int) -> None:
-        self.stats.reads += 1
-        self.stats.bytes_read += nbytes
-        self.stats.simulated_seconds += self.read_latency
+        with self._stats_lock:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+            self.stats.simulated_seconds += self.read_latency
         metrics = self.metrics
         metrics.inc_key(_K_READS)
         metrics.inc_key(_K_READ_BYTES, nbytes)
@@ -85,9 +109,10 @@ class _LatencyMixin(PageStore):
                 time.sleep(self.read_latency)
 
     def _charge_write(self, nbytes: int) -> None:
-        self.stats.writes += 1
-        self.stats.bytes_written += nbytes
-        self.stats.simulated_seconds += self.write_latency
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+            self.stats.simulated_seconds += self.write_latency
         metrics = self.metrics
         metrics.inc_key(_K_WRITES)
         metrics.inc_key(_K_WRITE_BYTES, nbytes)
@@ -95,6 +120,28 @@ class _LatencyMixin(PageStore):
             metrics.inc_key(_K_SIM_SECONDS, self.write_latency)
             if self.real_sleep:
                 time.sleep(self.write_latency)
+
+    def rebook_overlapped_reads(self, reads: int) -> float:
+        """Credit the virtual clock for a concurrently issued read batch.
+
+        ``reads`` serially charged reads are re-accounted as a batch
+        the device drained ``parallelism`` at a time; the credit
+        (serial charge minus makespan) moves into
+        :attr:`DiskStats.overlap_credit_seconds` so the serial total
+        stays auditable.  Returns the seconds credited.
+        """
+        if reads <= 1 or self.parallelism <= 1 or not self.read_latency:
+            return 0.0
+        serial = reads * self.read_latency
+        makespan = math.ceil(reads / self.parallelism) * self.read_latency
+        credit = serial - makespan
+        if credit <= 0.0:
+            return 0.0
+        with self._stats_lock:
+            self.stats.simulated_seconds -= credit
+            self.stats.overlap_credit_seconds += credit
+        self.metrics.inc_key(_K_OVERLAP_CREDIT, credit)
+        return credit
 
 
 class InMemoryDisk(_LatencyMixin):
@@ -106,8 +153,9 @@ class InMemoryDisk(_LatencyMixin):
         write_latency: float = DEFAULT_WRITE_LATENCY,
         real_sleep: bool = False,
         metrics: MetricsRegistry | None = None,
+        parallelism: int = 1,
     ) -> None:
-        super().__init__(read_latency, write_latency, real_sleep, metrics)
+        super().__init__(read_latency, write_latency, real_sleep, metrics, parallelism)
         self._pages: dict[str, bytes] = {}
 
     def read(self, page_id: str) -> bytes:
@@ -157,8 +205,9 @@ class DirectoryDisk(_LatencyMixin):
         write_latency: float = DEFAULT_WRITE_LATENCY,
         real_sleep: bool = False,
         metrics: MetricsRegistry | None = None,
+        parallelism: int = 1,
     ) -> None:
-        super().__init__(read_latency, write_latency, real_sleep, metrics)
+        super().__init__(read_latency, write_latency, real_sleep, metrics, parallelism)
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 

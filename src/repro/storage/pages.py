@@ -27,6 +27,15 @@ class DiskStats:
     ``simulated_seconds`` is a virtual clock: each read/write charges
     its modeled latency here, so experiments can report paper-style
     response times independent of the host machine's real disk.
+
+    ``overlap_credit_seconds`` records latency *rebooked* by the disk
+    concurrency model: reads are charged serially as they happen, and
+    when a caller declares that a batch of them was issued
+    concurrently (:meth:`PageStore.rebook_overlapped_reads`) the
+    difference between the serial charge and the batch makespan moves
+    from ``simulated_seconds`` into this field.  The sum of the two is
+    therefore always the serial cost, so serial experiments stay
+    reproducible and the credit is separately auditable.
     """
 
     reads: int = 0
@@ -34,6 +43,7 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
     simulated_seconds: float = 0.0
+    overlap_credit_seconds: float = 0.0
 
     def snapshot(self) -> "DiskStats":
         return DiskStats(
@@ -42,6 +52,7 @@ class DiskStats:
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
             simulated_seconds=self.simulated_seconds,
+            overlap_credit_seconds=self.overlap_credit_seconds,
         )
 
     def delta(self, earlier: "DiskStats") -> "DiskStats":
@@ -52,6 +63,9 @@ class DiskStats:
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
             simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
+            overlap_credit_seconds=(
+                self.overlap_credit_seconds - earlier.overlap_credit_seconds
+            ),
         )
 
     @property
@@ -61,6 +75,11 @@ class DiskStats:
 
 class PageStore(abc.ABC):
     """Whole-page keyed storage with I/O accounting."""
+
+    #: Modeled queue depth: how many reads the device can service
+    #: concurrently.  The base store has no latency model, so the
+    #: value only matters to latency-charging subclasses.
+    parallelism: int = 1
 
     def __init__(self) -> None:
         self.stats = DiskStats()
@@ -86,6 +105,16 @@ class PageStore(abc.ABC):
 
     def page_count(self, prefix: str = "") -> int:
         return sum(1 for _ in self.list_pages(prefix))
+
+    def rebook_overlapped_reads(self, reads: int) -> float:
+        """Re-account ``reads`` just-charged reads as issued concurrently.
+
+        Latency-modeling stores convert the serial charge into the
+        batch makespan under their queue depth and return the credited
+        seconds; the base store has no latency model, so this is a
+        no-op callers may invoke unconditionally.
+        """
+        return 0.0
 
     def reset_stats(self) -> None:
         self.stats = DiskStats()

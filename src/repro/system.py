@@ -25,8 +25,10 @@ from repro.core.calendar import TemporalKey, month_key
 from repro.core.dimensions import CubeSchema, default_schema
 from repro.core.executor import QueryExecutor
 from repro.core.hierarchy import HierarchicalIndex
+from repro.core.iosched import IOScheduler
 from repro.core.optimizer import LevelOptimizer
 from repro.core.percentages import NetworkSizeRegistry
+from repro.core.resultcache import EpochCounter, ResultCache
 from repro.collection.daily import DailyCrawler
 from repro.collection.geocode import Geocoder
 from repro.collection.records import UpdateList as UpdateListType
@@ -55,6 +57,15 @@ class SystemConfig:
     cache_slots: int = 64
     cache_ratios: CacheRatios = DEFAULT_RATIOS
     simulation: SimulationConfig = SimulationConfig()
+    #: Width of the executor's I/O scheduler pool (phase-1 page reads
+    #: are overlapped and single-flighted).  1 disables the scheduler
+    #: and restores the serial fetch loop.
+    fetch_parallelism: int = 4
+    #: Slots in the epoch-versioned whole-result memo cache in front
+    #: of the executor.  0 (default) disables memoization, so repeated
+    #: identical queries still measure real execution — serving
+    #: deployments (``rased-repro serve``) turn it on.
+    result_cache_slots: int = 0
 
 
 class RasedSystem:
@@ -79,13 +90,18 @@ class RasedSystem:
         self.metrics = MetricsRegistry()
         store.metrics = self.metrics
 
+        #: Index epoch: bumped on every mutation of what queries can
+        #: see (cube writes, live-overlay changes, denominator
+        #: refreshes); versions the result cache.
+        self.epoch = EpochCounter()
+
         self.simulator = EditSimulator(atlas=atlas, config=config.simulation)
         self.day_feed = ReplicationFeed(feed_root / "replication", "day")
         self.hour_feed = ReplicationFeed(feed_root / "replication", "hour")
         self.changeset_store = ChangesetStore(feed_root / "changesets")
         self.geocoder = Geocoder(atlas)
 
-        self.index = HierarchicalIndex(schema, store, atlas=atlas)
+        self.index = HierarchicalIndex(schema, store, atlas=atlas, epoch=self.epoch)
         self.warehouse = Warehouse(store, metrics=self.metrics)
         self.hash_index = HashIndex(store)
         self.spatial_index = GridSpatialIndex(store)
@@ -98,12 +114,24 @@ class RasedSystem:
         self.network_sizes = NetworkSizeRegistry(
             atlas, self.simulator.road_network_sizes()
         )
+        self.iosched = (
+            IOScheduler(max_workers=config.fetch_parallelism, metrics=self.metrics)
+            if config.fetch_parallelism > 1
+            else None
+        )
+        self.result_cache = (
+            ResultCache(config.result_cache_slots, self.epoch, metrics=self.metrics)
+            if config.result_cache_slots > 0
+            else None
+        )
         self.executor = QueryExecutor(
             self.index,
             cache=self.cache,
             optimizer=LevelOptimizer(self.index, metrics=self.metrics),
             network_sizes=self.network_sizes,
             metrics=self.metrics,
+            iosched=self.iosched,
+            result_cache=self.result_cache,
         )
         self.pipeline = IngestionPipeline(
             daily_crawler=DailyCrawler(
@@ -125,6 +153,7 @@ class RasedSystem:
             self.geocoder,
             schema,
             atlas=atlas,
+            epoch=self.epoch,
         )
         self.dashboard = Dashboard(
             executor=self.executor,
@@ -264,6 +293,9 @@ class RasedSystem:
         # Road networks changed during simulation; refresh denominators.
         for country, size in self.simulator.road_network_sizes().items():
             self.network_sizes.update_country(country, size)
+        # Denominators affect percentage results but bypass the index's
+        # own epoch bumps, so invalidate memoized results explicitly.
+        self.epoch.bump()
         return report
 
     def warm_cache(self) -> int:

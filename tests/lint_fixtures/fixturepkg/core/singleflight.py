@@ -1,0 +1,16 @@
+"""Fixture: single-flight dedup map with one mutation outside its lock."""
+
+import threading
+
+
+class SingleFlight:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, object] = {}  # guarded-by: _lock
+
+    def begin(self, key: str, token: object) -> None:
+        with self._lock:
+            self._inflight[key] = token  # held: must NOT be flagged
+
+    def finish(self, key: str) -> None:
+        self._inflight.pop(key, None)  # unguarded inflight pop

@@ -1,0 +1,200 @@
+"""Concurrency stress: mixed queries, ingestion, and live polling
+through one system, plus single-flight dedup asserted on disk counters."""
+
+from __future__ import annotations
+
+import threading
+import time
+from datetime import date
+
+import pytest
+
+from repro.core.executor import QueryExecutor
+from repro.core.iosched import IOScheduler
+from repro.core.optimizer import FlatPlanner
+from repro.core.query import AnalysisQuery
+from repro.obs import MetricsRegistry
+from repro.storage.disk import InMemoryDisk
+from repro.synth.simulator import SimulationConfig
+from repro.system import RasedSystem, SystemConfig
+from tests.test_iosched import make_small_index
+
+JULY = date(2021, 7, 1)
+WINDOW = AnalysisQuery(
+    start=date(2021, 7, 1), end=date(2021, 7, 31), group_by=("country",)
+)
+
+
+def build_stress_system(atlas) -> RasedSystem:
+    system = RasedSystem.create(
+        atlas=atlas,
+        store=InMemoryDisk(read_latency=0.0002, write_latency=0.0002, parallelism=4),
+        config=SystemConfig(
+            road_types=8,
+            cache_slots=16,
+            fetch_parallelism=4,
+            result_cache_slots=32,
+            simulation=SimulationConfig(
+                seed=31, mapper_count=20, base_sessions_per_day=6, nodes_per_country=8
+            ),
+        ),
+    )
+    for day in (1, 2, 3):
+        system.publish_day(date(2021, 7, day), hourly=True)
+    system.pipeline.run_daily()
+    # "Today" exists only as hourly diffs; the live thread absorbs it.
+    system.publish_partial_day(date(2021, 7, 8), through_hour=10)
+    return system
+
+
+class TestMixedWorkloadStress:
+    def test_queries_ingest_and_live_poll_race_safely(self, atlas):
+        system = build_stress_system(atlas)
+        before_total = system.dashboard.analysis(WINDOW).total
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def guarded(fn):
+            def runner():
+                try:
+                    fn()
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    stop.set()
+            return runner
+
+        def query_identical():
+            while not stop.is_set():
+                result = system.dashboard.analysis(WINDOW)
+                assert result.total >= before_total
+
+        def query_distinct(offset: int):
+            def run():
+                day = 1 + offset
+                while not stop.is_set():
+                    query = AnalysisQuery(
+                        start=date(2021, 7, 1),
+                        end=date(2021, 7, 1 + (day % 28)),
+                        group_by=("element_type",),
+                    )
+                    system.dashboard.analysis(query)
+                    system.dashboard.analysis_live(WINDOW)
+                    day += 3
+            return run
+
+        def ingest():
+            for day in (4, 5, 6):
+                system.publish_day(date(2021, 7, day), hourly=True)
+                system.pipeline.run_daily()
+                time.sleep(0.01)
+            stop.set()  # ingestion finishing bounds the test's runtime
+
+        def live_poll():
+            while not stop.is_set():
+                system.poll_live()
+                time.sleep(0.005)
+
+        threads = [
+            threading.Thread(target=guarded(query_identical), name=f"q-same-{i}")
+            for i in range(3)
+        ]
+        threads += [
+            threading.Thread(target=guarded(query_distinct(i)), name=f"q-mix-{i}")
+            for i in range(3)
+        ]
+        threads.append(threading.Thread(target=guarded(ingest), name="ingest"))
+        threads.append(threading.Thread(target=guarded(live_poll), name="live"))
+        assert len(threads) == 8
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+
+        # No lost updates: the served result equals a fresh, cache-free,
+        # memo-free executor reading the same index.
+        final = system.dashboard.analysis(WINDOW)
+        bare = QueryExecutor(system.index).execute(WINDOW)
+        assert final.rows == bare.rows
+        assert final.total > before_total  # days 4-6 landed
+
+        # The pre-ingest memo entry did not survive the epoch bumps:
+        # a post-ingest execution was real (it saw the new days).
+        assert system.result_cache is not None
+        assert system.result_cache.cached_count <= 32
+        memo_hit = system.dashboard.analysis(WINDOW)
+        assert memo_hit.stats.trace.meta.get("result_cache") == "hit"
+        assert memo_hit.rows == bare.rows
+        assert system.iosched is not None
+        assert system.iosched.inflight_count == 0
+
+
+class _GatedDisk(InMemoryDisk):
+    """A disk whose reads (once armed) park on a gate, so a test can
+    hold the single-flight leader mid-read while followers pile up."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.armed = False
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def read(self, page_id: str) -> bytes:
+        if self.armed:
+            self.entered.set()
+            assert self.gate.wait(timeout=10)
+        return super().read(page_id)
+
+
+class TestSingleFlightOnDiskCounters:
+    def test_concurrent_duplicate_misses_read_disk_once(self):
+        """8 simultaneous queries missing one cube: exactly 1 disk read."""
+        registry = MetricsRegistry()
+        index, _ = make_small_index(days=1)
+        gated = _GatedDisk(read_latency=0.005, write_latency=0.0, metrics=registry)
+        for page_id in index.store.list_pages():
+            gated.write(page_id, index.store.read(page_id))
+        index.store = gated
+        gated.reset_stats()
+
+        sched = IOScheduler(max_workers=8, metrics=registry)
+        executor = QueryExecutor(index, optimizer=FlatPlanner(index), iosched=sched)
+        query = AnalysisQuery(start=date(2021, 1, 1), end=date(2021, 1, 1))
+        results = []
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                results.append(executor.execute(query))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        gated.armed = True
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        try:
+            threads[0].start()
+            assert gated.entered.wait(timeout=10)
+            for thread in threads[1:]:
+                thread.start()
+            deadline = time.perf_counter() + 10
+            while (
+                registry.value("rased_iosched_coalesced_total") < 7
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+        finally:
+            gated.gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        sched.shutdown()
+
+        assert errors == []
+        assert len(results) == 8
+        assert gated.stats.reads == 1  # the acceptance criterion
+        assert sum(r.stats.coalesced_reads for r in results) == 7
+        assert sum(1 for r in results if r.stats.coalesced_reads == 0) == 1
+        reference = results[0].rows
+        assert all(r.rows == reference for r in results)
+        # Every query still *accounts* one phase-1 disk fetch.
+        assert all(r.stats.disk_reads == 1 for r in results)

@@ -407,3 +407,73 @@ class TestWindowAdditivity:
             for i in range(7)
         )
         assert week_total == day_sum
+
+
+class TestTimeSeriesCacheSnapshot:
+    """An admit-on-miss cache changes under a time-series query's own
+    feet: each period's misses evict LRU residents, so planning every
+    period against the initial snapshot treats long-evicted cubes as
+    free.  The executor re-snapshots before each period instead."""
+
+    @pytest.fixture(scope="class")
+    def year_index(self):
+        from tests.test_iosched import make_small_index
+
+        index, disk = make_small_index(days=365)
+        return index, disk
+
+    def _series_executor(self, index, slots=31):
+        from repro.core.cache import CacheManager, CacheRatios
+        from repro.core.executor import QueryExecutor
+        from repro.core.optimizer import LevelOptimizer
+
+        cache = CacheManager(
+            index,
+            slots=slots,
+            ratios=CacheRatios(1.0, 0.0, 0.0, 0.0),
+            admit_on_miss=True,
+        )
+        cache.preload()  # the 31 December dailies
+        index.store.reset_stats()
+        return QueryExecutor(
+            index, cache=cache, optimizer=LevelOptimizer(index)
+        )
+
+    def test_monthly_series_replans_after_evictions(self, year_index):
+        index, _ = year_index
+        executor = self._series_executor(index)
+        query = AnalysisQuery(
+            start=date(2021, 1, 1),
+            end=date(2021, 12, 31),
+            group_by=("date",),
+            date_granularity=Level.MONTH,
+        )
+        result = executor.execute(query)
+        # Jan..Nov admit 11 monthly cubes, evicting 11 December
+        # dailies.  With a refreshed snapshot, December re-plans to ONE
+        # monthly read; against the stale snapshot it would have paid
+        # 11 surprise daily reads (22 total).
+        assert result.stats.disk_reads == 12
+        assert result.stats.cache_hits == 0
+
+        from repro.core.executor import QueryExecutor
+
+        bare = QueryExecutor(index).execute(query)
+        assert result.rows == bare.rows
+
+    def test_warm_cache_series_stays_on_cache(self, year_index):
+        """Fig. 7's warm-cache workload: a fully resident daily series
+        touches disk zero times, repeatably."""
+        index, _ = year_index
+        executor = self._series_executor(index)
+        query = AnalysisQuery(
+            start=date(2021, 12, 1),
+            end=date(2021, 12, 31),
+            group_by=("date",),
+            date_granularity=Level.DAY,
+        )
+        for _ in range(2):
+            result = executor.execute(query)
+            assert result.stats.disk_reads == 0
+            assert result.stats.cache_hits == 31
+            assert len(result.rows) == 31

@@ -59,6 +59,19 @@ _UPDATE_TYPE_VALUES = {
 _DATE_RE = r"\d{4}-\d{2}-\d{2}"
 
 
+def _parse_date(text: str) -> date:
+    """A date literal as a typed error, never a raw ValueError.
+
+    The grammar's ``\\d{4}-\\d{2}-\\d{2}`` accepts shapes like
+    ``2021-99-99`` that are not calendar dates; fuzzing found the
+    resulting ``ValueError`` escaping the parser's error contract.
+    """
+    try:
+        return date.fromisoformat(text)
+    except ValueError as exc:
+        raise QueryError(f"invalid date literal {text!r}: {exc}") from None
+
+
 def _snake_case(value: str) -> str:
     """``UnitedStates`` -> ``united_states``; snake_case passes through."""
     value = value.strip().strip("'\"")
@@ -219,8 +232,8 @@ def _apply_condition(
         if _parse_attribute(between.group("attr")) != "date":
             raise QueryError("BETWEEN is only supported on U.Date")
         return (
-            date.fromisoformat(between.group("d1")),
-            date.fromisoformat(between.group("d2")),
+            _parse_date(between.group("d1")),
+            _parse_date(between.group("d2")),
         )
     after = re.fullmatch(
         rf"(?P<attr>\S+)\s+AFTER\s+(?P<d>{_DATE_RE})",
@@ -234,7 +247,7 @@ def _apply_condition(
             raise QueryError(
                 "U.Date AFTER needs a default_end (the newest covered day)"
             )
-        return date.fromisoformat(after.group("d")), default_end
+        return _parse_date(after.group("d")), default_end
 
     in_clause = re.fullmatch(
         r"(?P<attr>\S+)\s+IN\s+\[(?P<values>.*?)\]", condition, re.IGNORECASE

@@ -49,6 +49,9 @@ def _open_system(
     seed: int = 42,
     cache_slots: int = 64,
     result_cache_slots: int = 0,
+    durable: bool = False,
+    feed_retries: int = 1,
+    feed_breaker: int = 0,
 ) -> RasedSystem:
     root_path = Path(root)
     store = DirectoryDisk(root_path / "pages")
@@ -57,6 +60,9 @@ def _open_system(
         cache_slots=cache_slots,
         simulation=SimulationConfig(seed=seed),
         result_cache_slots=result_cache_slots,
+        durable_ingest=durable,
+        feed_retry_attempts=feed_retries,
+        feed_breaker_threshold=feed_breaker,
     )
     return RasedSystem.create(
         root=root_path / "feeds", config=config, store=store
@@ -83,7 +89,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    system = _open_system(args.root)
+    system = _open_system(
+        args.root,
+        durable=args.durable,
+        feed_retries=args.feed_retries,
+        feed_breaker=args.feed_breaker,
+    )
+    # Opening a durable deployment already rolled back any batch a
+    # crashed run left behind; report it so operators see the repair.
+    if system.wal is not None:
+        recovery = system.pipeline.recover()
+        if recovery is not None and recovery.rolled_back:
+            print(
+                f"recovered: rolled back incomplete batch "
+                f"{recovery.batch_meta or '(torn intent)'} "
+                f"({recovery.pages_restored} pages restored)"
+            )
     report = system.pipeline.run_daily()
     print(
         f"ingested {report.days_processed} days: "
@@ -219,7 +240,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.root,
         cache_slots=args.cache_slots,
         result_cache_slots=args.result_cache_slots,
+        durable=args.durable,
     )
+    if system.wal is not None:
+        system.pipeline.recover()
     system.warm_cache()
     server = DashboardServer(
         system.dashboard,
@@ -259,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     ingest = sub.add_parser("ingest", help="crawl and index unprocessed diffs")
     ingest.add_argument("--root", required=True)
+    ingest.add_argument(
+        "--durable",
+        action="store_true",
+        help="run ingestion through the write-ahead intent log "
+        "(crash-safe, atomic per-day batches)",
+    )
+    ingest.add_argument(
+        "--feed-retries",
+        type=int,
+        default=3,
+        help="attempts per replication-feed poll (1 disables retries)",
+    )
+    ingest.add_argument(
+        "--feed-breaker",
+        type=int,
+        default=5,
+        help="consecutive feed failures that open the circuit breaker "
+        "(0 disables it)",
+    )
     ingest.set_defaults(func=_cmd_ingest)
 
     rebuild = sub.add_parser(
@@ -318,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--single-thread",
         action="store_true",
         help="serve requests serially (concurrency baseline)",
+    )
+    serve.add_argument(
+        "--durable",
+        action="store_true",
+        help="open the deployment in durable-ingest mode (rolls back "
+        "any crashed ingest batch before serving)",
     )
     serve.set_defaults(func=_cmd_serve)
 

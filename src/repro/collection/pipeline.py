@@ -34,6 +34,7 @@ if TYPE_CHECKING:
     from repro.core.hierarchy import HierarchicalIndex
     from repro.storage.hash_index import HashIndex
     from repro.storage.spatial_index import GridSpatialIndex
+    from repro.storage.wal import IngestWAL, WalRecovery
     from repro.storage.warehouse import Warehouse
 
 from repro.collection.daily import DailyCrawler, DailyCrawlResult
@@ -53,6 +54,9 @@ _K_UPDATES_PER_DAY = metric_key("rased_ingest_updates_per_day")
 _K_DAY_SECONDS = metric_key("rased_ingest_day_seconds")
 _K_CYCLE_SECONDS = metric_key("rased_ingest_cycle_seconds", cycle="daily")
 _K_MONTHLY_SECONDS = metric_key("rased_ingest_cycle_seconds", cycle="monthly")
+_K_BATCHES = metric_key("rased_ingest_batches_total")
+_K_RECOVERIES = metric_key("rased_ingest_recoveries_total")
+_K_ROLLED_BACK = metric_key("rased_ingest_batches_rolled_back_total")
 
 
 @dataclass
@@ -79,6 +83,7 @@ class IngestionPipeline:
         spatial_index: GridSpatialIndex | None = None,
         cache: CacheManager | None = None,
         metrics: MetricsRegistry | None = None,
+        wal: "IngestWAL | None" = None,
     ) -> None:
         self.daily_crawler = daily_crawler
         self.monthly_crawler = monthly_crawler
@@ -88,6 +93,11 @@ class IngestionPipeline:
         self.spatial_index = spatial_index
         self.cache = cache
         self.metrics = metrics if metrics is not None else get_registry()
+        #: When set, every daily ingest / monthly rebuild runs as one
+        #: WAL batch: the index, warehouse, secondary indexes, and the
+        #: crawl cursor move together or not at all.  The system wiring
+        #: guarantees the stores above were built over ``wal.store``.
+        self.wal = wal
         self._load_cursor()
 
     #: Page id of the persisted crawl cursor (survives restarts, so a
@@ -138,10 +148,20 @@ class IngestionPipeline:
         metrics.observe_key(_K_DAY_SECONDS, seconds)
 
     def run_daily(self) -> IngestReport:
-        """Crawl and ingest every diff published since the last cycle."""
+        """Crawl and ingest every diff published since the last cycle.
+
+        With a WAL attached, each day is one batch spanning the cube
+        writes, the warehouse append, the secondary-index flushes, and
+        the cursor advance — a crash anywhere inside rolls the whole
+        day back, and the rolled-back cursor makes the re-run crawl the
+        same diff again: exactly-once, not at-most-once.
+        """
         started = time.perf_counter()
         report = IngestReport()
         for result in self.daily_crawler.crawl_new():
+            meta = {"kind": "daily", "day": result.day.isoformat()}
+            if self.wal is not None:
+                self.wal.begin(meta)
             single = self.ingest_daily_result(result)
             report.days_processed += single.days_processed
             report.updates_indexed += single.updates_indexed
@@ -149,6 +169,9 @@ class IngestionPipeline:
             report.cubes_written.extend(single.cubes_written)
             report.warehouse_rows += single.warehouse_rows
             self._save_cursor()
+            if self.wal is not None:
+                self.wal.commit(meta)
+                self.metrics.inc_key(_K_BATCHES)
         self.metrics.observe_key(
             _K_CYCLE_SECONDS, time.perf_counter() - started
         )
@@ -178,6 +201,44 @@ class IngestionPipeline:
         for key in written:
             self.cache.refresh_key(key)
 
+    # -- crash recovery -----------------------------------------------------
+
+    def recover(self) -> "WalRecovery | None":
+        """Roll back any crashed batch and resynchronize memory views.
+
+        Call once on startup (the system wiring does) and after any
+        in-process simulated crash.  With no WAL attached this is a
+        no-op returning ``None``; otherwise it returns the WAL's
+        recovery report.  After a rollback every in-memory structure
+        derived from the store — the index catalog, the warehouse tail,
+        buffered secondary-index entries, the cube cache, and the crawl
+        cursor — is rebuilt from the restored pages, so the next
+        :meth:`run_daily` re-ingests the lost day exactly once.
+        """
+        if self.wal is None:
+            return None
+        report = self.wal.recover()
+        self.metrics.inc_key(_K_RECOVERIES)
+        if report.rolled_back:
+            self.metrics.inc_key(_K_ROLLED_BACK)
+            self._resync()
+        return report
+
+    def _resync(self) -> None:
+        self.index.reload_catalog()
+        if self.warehouse is not None:
+            self.warehouse.resync()
+        if self.hash_index is not None:
+            self.hash_index.discard_pending()
+        if self.spatial_index is not None:
+            self.spatial_index.discard_pending()
+        if self.cache is not None:
+            self.cache.clear()
+        # The rolled-back cursor page is authoritative; the crawler's
+        # in-memory position may be a day ahead of it.
+        self.daily_crawler.last_sequence = None
+        self._load_cursor()
+
     # -- monthly ---------------------------------------------------------------
 
     def run_monthly(
@@ -197,7 +258,13 @@ class IngestionPipeline:
         by_day: dict[date, UpdateList] = defaultdict(UpdateList)
         for record in crawl.updates:
             by_day[record.date].append(record)
+        meta = {"kind": "monthly", "month": str(month)}
+        if self.wal is not None:
+            self.wal.begin(meta)
         written = self.index.rebuild_month(month, by_day)
+        if self.wal is not None:
+            self.wal.commit(meta)
+            self.metrics.inc_key(_K_BATCHES)
         report.cubes_written.extend(written)
         report.updates_indexed = len(crawl.updates)
         report.updates_skipped = crawl.skipped

@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from repro.core.calendar import Level, TemporalKey
 from repro.core.cube import DataCube
 from repro.core.hierarchy import HierarchicalIndex
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    CubeNotFoundError,
+    PageCorruptError,
+    PageNotFoundError,
+)
 from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.storage.serializer import cube_page_size
 
@@ -145,13 +150,35 @@ class CacheManager:
         return loaded
 
     def refresh_key(self, key: TemporalKey) -> None:
-        """Re-read one cached cube after maintenance replaced it."""
+        """Re-read one cached cube after maintenance replaced it.
+
+        A cube that can no longer be read (quarantined or rolled back
+        since it was written) is simply dropped from the cache — the
+        degraded-answer machinery owns reporting, not the refresh.
+        """
         if key not in self._cubes:
             return
-        cube = self.index.get(key)  # disk read outside the lock
+        try:
+            cube = self.index.get(key)  # disk read outside the lock
+        except (CubeNotFoundError, PageCorruptError, PageNotFoundError):
+            with self._lock:
+                self._cubes.pop(key, None)
+            return
         with self._lock:
             if key in self._cubes:
                 self._cubes[key] = cube
+
+    def clear(self) -> int:
+        """Drop every cached cube; returns how many were resident.
+
+        Used when the store changed wholesale underneath the index
+        (WAL rollback after a crashed ingest batch) and per-key
+        refreshing cannot know which entries are stale.
+        """
+        with self._lock:
+            count = len(self._cubes)
+            self._cubes.clear()
+        return count
 
     # -- lookup ------------------------------------------------------------
 

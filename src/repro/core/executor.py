@@ -41,12 +41,24 @@ from repro.core.query import (
     QueryStats,
 )
 from repro.core.resultcache import ResultCache
-from repro.errors import QueryError
+from repro.errors import (
+    CubeNotFoundError,
+    PageCorruptError,
+    PageNotFoundError,
+    QueryError,
+)
 from repro.obs import MetricsRegistry, QueryTrace, get_registry, metric_key
 
 __all__ = ["QueryExecutor"]
 
+#: Failure modes a query degrades around instead of propagating: the
+#: cube's page is gone, fails validation, or was quarantined between
+#: planning and fetch.
+_DEGRADABLE = (PageCorruptError, PageNotFoundError, CubeNotFoundError)
+
 _K_QUERIES = metric_key("rased_queries_total")
+_K_PARTIAL = metric_key("rased_queries_partial_total")
+_K_QUARANTINED = metric_key("rased_query_quarantined_cubes_total")
 _K_CUBES_CACHE = metric_key("rased_query_cubes_total", source="cache")
 _K_CUBES_DISK = metric_key("rased_query_cubes_total", source="disk")
 _K_MISSING_DAYS = metric_key("rased_query_missing_days_total")
@@ -111,13 +123,34 @@ class QueryExecutor:
                 "phase2.percentage", time.perf_counter() - pct_started
             )
 
+        self._flag_quarantine_overlap(query, stats)
         stats.wall_seconds = time.perf_counter() - started
         disk_delta = self.index.store.stats.delta(disk_before)
         stats.simulated_seconds = disk_delta.simulated_seconds + stats.wall_seconds
         self._record_query_metrics(stats)
-        if self.result_cache is not None:
+        if self.result_cache is not None and not stats.partial:
+            # A partial answer is a degraded lower bound; memoizing it
+            # would keep serving the hole after the page heals.
             self.result_cache.put(query, rows, epoch)
         return QueryResult(query=query, rows=rows, stats=stats)
+
+    def _flag_quarantine_overlap(self, query: AnalysisQuery, stats: QueryStats) -> None:
+        """Mark answers overlapping quarantined cubes as partial.
+
+        The fetch path only counts cubes that were *planned* and then
+        failed; once a key is quarantined it leaves the catalog, so a
+        repeat query would plan around the hole and silently answer a
+        smaller total with ``partial=False``.  Any quarantined key whose
+        span intersects the query range degrades the answer, whether or
+        not this execution tried to read it.
+        """
+        overlap = 0
+        for key in self.index.quarantined_keys():
+            if key.start <= query.end and key.end >= query.start:
+                overlap += 1
+        if overlap:
+            stats.partial = True
+            stats.quarantined_cubes = max(stats.quarantined_cubes, overlap)
 
     def _memoized_result(
         self, query: AnalysisQuery, rows: dict, started: float
@@ -142,7 +175,14 @@ class QueryExecutor:
         )
         if stats.coalesced_reads:
             trace.meta["coalesced_reads"] = stats.coalesced_reads
+        if stats.partial:
+            trace.meta["partial"] = True
+            trace.meta["quarantined_cubes"] = stats.quarantined_cubes
         incs = [(_K_QUERIES, 1.0)]
+        if stats.partial:
+            incs.append((_K_PARTIAL, 1.0))
+        if stats.quarantined_cubes:
+            incs.append((_K_QUARANTINED, stats.quarantined_cubes))
         if stats.cache_hits:
             incs.append((_K_CUBES_CACHE, stats.cache_hits))
         if stats.disk_reads:
@@ -310,23 +350,44 @@ class QueryExecutor:
             )
             stats.coalesced_reads += batch.coalesced
             for key in misses:
-                fetched[key] = batch.values[key]
+                cube = batch.values[key]
+                fetched[key] = cube
+                if cube is None:
+                    # The load hit a quarantined/corrupt/vanished page
+                    # (the sentinel is shared by every query coalesced
+                    # onto the same in-flight load).
+                    stats.partial = True
+                    stats.quarantined_cubes += 1
+                    continue
                 stats.disk_reads += 1
                 by_level = stats.disk_reads_by_level
                 by_level[key.level] = by_level.get(key.level, 0) + 1
         return fetched
 
-    def _load_cube(self, key: TemporalKey) -> DataCube:
-        """Scheduler load callback: one page read plus cache admission."""
-        cube = self.index.get(key)
+    def _load_cube(self, key: TemporalKey) -> DataCube | None:
+        """Scheduler load callback: one page read plus cache admission.
+
+        Degradable failures return ``None`` rather than raising, so the
+        single-flight machinery shares the miss sentinel with coalesced
+        followers instead of poisoning them with an exception.
+        """
+        try:
+            cube = self.index.get(key)
+        except _DEGRADABLE:
+            return None
         if self.cache is not None:
             self.cache.admit(cube)
         return cube
 
     def _fetch(
         self, key: TemporalKey, stats: QueryStats
-    ) -> tuple[DataCube, bool]:
-        """One cube plus whether it was served from the cache."""
+    ) -> tuple[DataCube | None, bool]:
+        """One cube plus whether it was served from the cache.
+
+        ``(None, False)`` means the cube could not be served and the
+        answer is now partial; :meth:`HierarchicalIndex.get` has
+        already quarantined the bad page.
+        """
         level = key.level
         if self.cache is not None:
             cube = self.cache.get(key)
@@ -335,13 +396,18 @@ class QueryExecutor:
                 by_level = stats.cache_hits_by_level
                 by_level[level] = by_level.get(level, 0) + 1
                 return cube, True
-        cube = self.index.get(key)
+        try:
+            loaded = self.index.get(key)
+        except _DEGRADABLE:
+            stats.partial = True
+            stats.quarantined_cubes += 1
+            return None, False
         stats.disk_reads += 1
         by_level = stats.disk_reads_by_level
         by_level[level] = by_level.get(level, 0) + 1
         if self.cache is not None:
-            self.cache.admit(cube)
-        return cube, False
+            self.cache.admit(loaded)
+        return loaded, False
 
     def _effective_filters(self, query: AnalysisQuery) -> dict:
         """Query filters adjusted for overlapping zones of interest.
@@ -380,7 +446,10 @@ class QueryExecutor:
             # Phase 1 already ran (overlapped); this is pure phase 2.
             agg_started = time.perf_counter()
             for key in plan.keys:
-                partial, labels = fetched[key].aggregate_array(filters, group_by)
+                cube = fetched[key]
+                if cube is None:
+                    continue
+                partial, labels = cube.aggregate_array(filters, group_by)
                 if accumulated is None:
                     accumulated = partial.astype(np.int64, copy=True)
                 else:
@@ -400,6 +469,9 @@ class QueryExecutor:
         previous = time.perf_counter()
         for key in plan.keys:
             cube, from_cache = self._fetch(key, stats)
+            if cube is None:
+                previous = time.perf_counter()
+                continue
             fetched_at = time.perf_counter()
             partial, labels = cube.aggregate_array(filters, group_by)
             if accumulated is None:

@@ -43,7 +43,12 @@ from repro.core.calendar import (
 )
 from repro.core.cube import DataCube, RESOLUTION_COARSE, RESOLUTION_FULL, sum_cubes
 from repro.core.dimensions import CubeSchema
-from repro.errors import CubeNotFoundError, IndexError_
+from repro.errors import (
+    CubeNotFoundError,
+    IndexError_,
+    PageCorruptError,
+    PageNotFoundError,
+)
 from repro.geo.zones import ZoneAtlas
 from repro.storage.pages import PageStore
 from repro.storage.serializer import deserialize_cube, serialize_cube
@@ -138,6 +143,9 @@ class HierarchicalIndex:
         self._catalog: dict[Level, set[TemporalKey]] = {
             level: set() for level in Level
         }  # guarded-by: _catalog_lock
+        #: Keys pulled from service because their page failed to read
+        #: or deserialize; queries plan around them and answer partial.
+        self._quarantined: set[TemporalKey] = set()  # guarded-by: _catalog_lock
         self._load_catalog()
 
     def _load_catalog(self) -> None:
@@ -146,17 +154,69 @@ class HierarchicalIndex:
                 key = parse_page_key(page_id, self.prefix)
                 self._catalog[key.level].add(key)
 
+    def reload_catalog(self) -> None:
+        """Resynchronize the in-memory catalog with the store.
+
+        Needed after something outside the index's control rewrites
+        cube pages underneath it — WAL rollback after a crashed batch,
+        most notably.  Clears quarantine: pages restored from undo are
+        good again, and genuinely bad pages re-quarantine on next read.
+        """
+        with self._catalog_lock:
+            for level in Level:
+                self._catalog[level].clear()
+            self._quarantined.clear()
+        self._load_catalog()
+        if self.epoch is not None:
+            self.epoch.bump()
+
+    # -- quarantine ---------------------------------------------------------
+
+    def quarantine(self, key: TemporalKey) -> bool:
+        """Pull one cube out of service (idempotent).
+
+        The key leaves the catalog, so planners stop routing to it and
+        :meth:`has` answers ``False``; it is remembered in the
+        quarantine set for operators.  Returns whether the key was in
+        service.  The page itself is left on disk for forensics.
+        """
+        with self._catalog_lock:
+            was_live = key in self._catalog[key.level]
+            self._catalog[key.level].discard(key)
+            self._quarantined.add(key)
+        if was_live and self.epoch is not None:
+            self.epoch.bump()
+        return was_live
+
+    def quarantined_keys(self) -> list[TemporalKey]:
+        with self._catalog_lock:
+            return sorted(self._quarantined, key=lambda k: (k.start, k.level))
+
+    def quarantined_count(self) -> int:
+        with self._catalog_lock:
+            return len(self._quarantined)
+
     # -- raw cube access ---------------------------------------------------
 
     def has(self, key: TemporalKey) -> bool:
         return key in self._catalog[key.level]
 
     def get(self, key: TemporalKey) -> DataCube:
-        """Read one cube from the store (counts as one page I/O)."""
+        """Read one cube from the store (counts as one page I/O).
+
+        A page that vanished or fails validation is quarantined on the
+        way out: the catalog stops advertising it, so subsequent plans
+        route around it and answer with ``partial=true`` instead of
+        re-hitting the bad page forever.
+        """
         if not self.has(key):
             raise CubeNotFoundError(f"no cube for {key}")
-        data = self.store.read(page_id_for(key, self.prefix))
-        return deserialize_cube(data, self.schema)
+        try:
+            data = self.store.read(page_id_for(key, self.prefix))
+            return deserialize_cube(data, self.schema)
+        except (PageCorruptError, PageNotFoundError):
+            self.quarantine(key)
+            raise
 
     def put(self, cube: DataCube) -> None:
         """Write one cube to the store (counts as one page I/O)."""
@@ -170,6 +230,9 @@ class HierarchicalIndex:
         )
         with self._catalog_lock:
             self._catalog[cube.key.level].add(cube.key)
+            # A rewrite heals a quarantined key: fresh bytes replace
+            # whatever failed validation.
+            self._quarantined.discard(cube.key)
         if self.epoch is not None:
             self.epoch.bump()
 

@@ -122,6 +122,12 @@ class QueryStats:
     #: query's read instead of touching the device (single-flight).
     coalesced_reads: int = 0
     missing_days: int = 0
+    #: ``True`` when at least one planned cube could not be served
+    #: (corrupt/vanished page, quarantined mid-query): the totals are a
+    #: lower bound, honestly flagged rather than silently wrong.
+    partial: bool = False
+    #: How many planned cubes were dropped from the answer.
+    quarantined_cubes: int = 0
     #: Per-temporal-level fetch accounting (Level -> cube count); the
     #: executor flushes these into the metrics registry once per query.
     cache_hits_by_level: dict = field(default_factory=dict)

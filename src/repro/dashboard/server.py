@@ -120,10 +120,12 @@ def result_to_json(result) -> dict:
         "metric": result.query.metric,
         "rows": rows,
         "sql": to_sql(result.query),
+        "partial": result.stats.partial,
         "stats": {
             "cube_count": result.stats.cube_count,
             "cache_hits": result.stats.cache_hits,
             "disk_reads": result.stats.disk_reads,
+            "quarantined_cubes": result.stats.quarantined_cubes,
             "simulated_ms": result.stats.simulated_ms,
             "wall_ms": result.stats.wall_seconds * 1000.0,
             "trace": result.stats.trace.to_dict()
@@ -180,15 +182,21 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         try:
             if parsed.path == "/health":
-                coverage = self.dashboard.executor.index.coverage()
+                index = self.dashboard.executor.index
+                coverage = index.coverage()
+                quarantined = index.quarantined_count()
                 self._send(
                     200,
                     {
-                        "status": "ok",
+                        # "degraded" = still serving, but some cubes are
+                        # quarantined and answers touching them carry
+                        # partial=true.
+                        "status": "degraded" if quarantined else "ok",
                         "coverage": [d.isoformat() for d in coverage]
                         if coverage
                         else None,
-                        "pages": self.dashboard.executor.index.total_pages(),
+                        "pages": index.total_pages(),
+                        "quarantined_cubes": quarantined,
                     },
                 )
             elif parsed.path == "/zones":

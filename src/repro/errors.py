@@ -37,6 +37,12 @@ class PageCorruptError(StorageError):
     """A page failed checksum or header validation on read."""
 
 
+class CircuitOpenError(StorageError):
+    """A resilient client's circuit breaker is open: the upstream has
+    failed repeatedly and calls are being rejected without attempting
+    I/O until the cool-down elapses."""
+
+
 class IndexError_(RasedError):
     """Hierarchical-index inconsistency (missing cube, bad rollup)."""
 

@@ -76,6 +76,14 @@ class HashIndex:
         self._pending.clear()
         return written
 
+    def discard_pending(self) -> int:
+        """Drop buffered, unflushed entries (WAL rollback of a batch
+        whose bucket pages were restored from undo).  Returns how many
+        entries were discarded."""
+        dropped = sum(len(entries) for entries in self._pending.values())
+        self._pending.clear()
+        return dropped
+
     def _read_bucket(self, bucket: int) -> list[tuple[int, RowPointer]]:
         try:
             data = self.store.read(self._bucket_id(bucket))

@@ -17,7 +17,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["PageStore", "DiskStats"]
+__all__ = ["PageStore", "PageStoreProxy", "DiskStats"]
 
 
 @dataclass
@@ -118,3 +118,71 @@ class PageStore(abc.ABC):
 
     def reset_stats(self) -> None:
         self.stats = DiskStats()
+
+
+class PageStoreProxy(PageStore):
+    """A transparent wrapper around another page store.
+
+    Subclasses (the ingestion WAL's journaled view, the test suite's
+    fault-injecting store) intercept only the operations they care
+    about; everything else — including the stats object, the latency
+    model's queue depth, and the metrics binding — is the inner
+    store's, so layered wrappers stay indistinguishable from the raw
+    device to accounting code.
+    """
+
+    def __init__(self, inner: PageStore) -> None:
+        # No super().__init__(): ``stats`` must be the inner store's
+        # object, not a fresh one, or experiment deltas would miss the
+        # I/O performed through the wrapper.
+        self.inner = inner
+
+    # -- delegated accounting ------------------------------------------------
+
+    @property
+    def stats(self) -> DiskStats:  # type: ignore[override]
+        return self.inner.stats
+
+    @stats.setter
+    def stats(self, value: DiskStats) -> None:
+        self.inner.stats = value
+
+    @property
+    def parallelism(self) -> int:  # type: ignore[override]
+        return self.inner.parallelism
+
+    @parallelism.setter
+    def parallelism(self, value: int) -> None:
+        self.inner.parallelism = value
+
+    @property
+    def metrics(self) -> object:
+        """The inner store's registry binding (present on latency disks)."""
+        return getattr(self.inner, "metrics", None)
+
+    @metrics.setter
+    def metrics(self, value: object) -> None:
+        setattr(self.inner, "metrics", value)
+
+    def rebook_overlapped_reads(self, reads: int) -> float:
+        return self.inner.rebook_overlapped_reads(reads)
+
+    def reset_stats(self) -> None:
+        self.inner.reset_stats()
+
+    # -- delegated storage ops ----------------------------------------------
+
+    def read(self, page_id: str) -> bytes:
+        return self.inner.read(page_id)
+
+    def write(self, page_id: str, data: bytes) -> None:
+        self.inner.write(page_id, data)
+
+    def delete(self, page_id: str) -> None:
+        self.inner.delete(page_id)
+
+    def __contains__(self, page_id: str) -> bool:
+        return page_id in self.inner
+
+    def list_pages(self, prefix: str = "") -> Iterator[str]:
+        return self.inner.list_pages(prefix)

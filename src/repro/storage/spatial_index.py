@@ -85,6 +85,14 @@ class GridSpatialIndex:
         self._pending.clear()
         return written
 
+    def discard_pending(self) -> int:
+        """Drop buffered, unflushed entries (WAL rollback of a batch
+        whose cell pages were restored from undo).  Returns how many
+        entries were discarded."""
+        dropped = sum(len(entries) for entries in self._pending.values())
+        self._pending.clear()
+        return dropped
+
     def _read_cell(self, cell: tuple[int, int]) -> list[tuple[float, float, RowPointer]]:
         try:
             data = self.store.read(self._cell_id(cell))

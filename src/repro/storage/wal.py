@@ -1,0 +1,301 @@
+"""Write-ahead intent log + undo journal for crash-safe ingestion.
+
+RASED's crawlers run forever; a crash mid-ingest must never leave the
+cube index, the warehouse heap, and the hash/spatial indexes mutually
+inconsistent, and must never double-count a day after restart.  The
+paper's maintenance is "copied to the index structure only when done";
+this module extends that guarantee from one page to one *batch* (a
+whole crawled day, which touches many pages).
+
+The protocol is classic physical undo logging over the page store:
+
+1. :meth:`IngestWAL.begin` writes an **intent** page (``wal/intent``)
+   naming the batch.  Its presence means "a batch may have partially
+   executed".
+2. All batch writes flow through the :class:`JournaledStore` wrapper,
+   which captures each touched page's **pre-image** to an undo page
+   (``wal/undo/<batch>/<n>``) *before* the first overwrite — classic
+   write-ahead ordering, so a torn undo page always implies an
+   untouched data page.
+3. :meth:`IngestWAL.commit` deletes the intent page — the atomic
+   commit point — then garbage-collects the undo pages and records a
+   **checkpoint** page (``wal/checkpoint``) naming the last durable
+   batch.
+
+:meth:`IngestWAL.recover` inverts an incomplete batch: if an intent
+page exists, every parseable undo page of *that batch* is restored
+(newest first) and the intent is cleared; stray undo pages from any
+other batch are committed leftovers and are simply collected.  After
+recovery the store is byte-identical to the pre-batch state, so
+re-running the crawler (whose cursor was part of the batch and was
+therefore rolled back too) re-ingests the batch exactly once.
+
+Undo pages carry a CRC over the pre-image; a mismatch (torn undo
+write) means the corresponding data write never happened, and the page
+is skipped rather than restored — restoring a torn pre-image would
+corrupt a page the crash provably left intact.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.storage.pages import PageStore, PageStoreProxy
+
+__all__ = ["IngestWAL", "JournaledStore", "WalRecovery", "WAL_PREFIX"]
+
+#: Default page-id prefix for all WAL state.
+WAL_PREFIX = "wal"
+
+_HEADER_SEP = b"\n"
+
+
+@dataclass
+class WalRecovery:
+    """What one :meth:`IngestWAL.recover` pass did."""
+
+    #: Whether an incomplete batch was found and rolled back.
+    rolled_back: bool = False
+    #: Batch metadata from the intent page (``None`` if unparseable).
+    batch_meta: dict | None = None
+    #: Pages restored to their pre-image (or deleted, if absent before).
+    pages_restored: int = 0
+    #: Undo pages skipped because their checksum failed (torn undo
+    #: write — the matching data write never happened).
+    pages_skipped: int = 0
+    #: Orphan undo pages collected from already-committed batches.
+    orphans_collected: int = 0
+
+
+class JournaledStore(PageStoreProxy):
+    """A page-store view that captures pre-images during a batch.
+
+    Outside a batch every operation is a pure pass-through.  Inside a
+    batch (between :meth:`IngestWAL.begin` and :meth:`IngestWAL.commit`)
+    the first write or delete of each page first journals the page's
+    prior contents (or its absence) so the batch can be undone.  WAL
+    pages themselves are never journaled.
+    """
+
+    def __init__(self, wal: "IngestWAL") -> None:
+        super().__init__(wal.raw)
+        self._wal = wal
+
+    def write(self, page_id: str, data: bytes) -> None:
+        self._wal.journal(page_id)
+        self.inner.write(page_id, data)
+
+    def delete(self, page_id: str) -> None:
+        self._wal.journal(page_id)
+        self.inner.delete(page_id)
+
+
+class IngestWAL:
+    """Batch atomicity for ingestion over a page store.
+
+    One WAL owns one store.  Components that must be crash-consistent
+    with each other (cube index, warehouse, hash/spatial indexes, the
+    crawl cursor) are constructed over :attr:`store` — the journaled
+    view — while the WAL's own pages go straight to the raw device.
+    """
+
+    def __init__(self, store: PageStore, prefix: str = WAL_PREFIX) -> None:
+        self.raw = store
+        self.prefix = prefix
+        #: The view batch participants must write through.
+        self.store = JournaledStore(self)
+        self._active_batch: int | None = None
+        self._undo_count = 0
+        self._journaled: set[str] = set()
+        self._next_batch = self._discover_next_batch()
+
+    # -- page ids ------------------------------------------------------------
+
+    @property
+    def intent_page(self) -> str:
+        return f"{self.prefix}/intent"
+
+    @property
+    def checkpoint_page(self) -> str:
+        return f"{self.prefix}/checkpoint"
+
+    def _undo_prefix(self, batch: int) -> str:
+        return f"{self.prefix}/undo/{batch:08d}/"
+
+    def _undo_page(self, batch: int, n: int) -> str:
+        return f"{self._undo_prefix(batch)}{n:06d}"
+
+    def _discover_next_batch(self) -> int:
+        newest = 0
+        try:
+            raw = self.raw.read(self.checkpoint_page)
+            newest = max(newest, int(json.loads(raw.decode("utf-8"))["batch"]))
+        except (PageNotFoundError, ValueError, KeyError, TypeError):
+            pass
+        for page_id in self.raw.list_pages(f"{self.prefix}/undo/"):
+            parts = page_id.split("/")
+            if len(parts) >= 3:
+                try:
+                    newest = max(newest, int(parts[2]))
+                except ValueError:
+                    continue
+        return newest + 1
+
+    # -- batch lifecycle -----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether a batch is currently open in this process."""
+        return self._active_batch is not None
+
+    def begin(self, meta: dict | None = None) -> int:
+        """Open a batch; returns its number.  The intent page is the
+        durable record that the batch may have started mutating state."""
+        if self._active_batch is not None:
+            raise StorageError("a WAL batch is already active")
+        if self.intent_page in self.raw:
+            raise StorageError(
+                "an incomplete batch exists on disk; run recover() first"
+            )
+        batch = self._next_batch
+        self._next_batch += 1
+        payload = json.dumps({"batch": batch, "meta": meta or {}}).encode("utf-8")
+        self.raw.write(self.intent_page, payload)
+        self._active_batch = batch
+        self._undo_count = 0
+        self._journaled = set()
+        return batch
+
+    def journal(self, page_id: str) -> None:
+        """Capture ``page_id``'s pre-image (first touch per batch only)."""
+        if self._active_batch is None:
+            return
+        if page_id.startswith(self.prefix + "/") or page_id in self._journaled:
+            return
+        self._journaled.add(page_id)
+        try:
+            before: bytes | None = self.raw.read(page_id)
+        except PageNotFoundError:
+            before = None
+        payload = before if before is not None else b""
+        header = json.dumps(
+            {
+                "page_id": page_id,
+                "existed": before is not None,
+                "size": len(payload),
+                "crc": zlib.crc32(payload),
+            }
+        ).encode("utf-8")
+        undo_id = self._undo_page(self._active_batch, self._undo_count)
+        self._undo_count += 1
+        self.raw.write(undo_id, header + _HEADER_SEP + payload)
+
+    def commit(self, meta: dict | None = None) -> None:
+        """Make the batch durable.  Deleting the intent page is the
+        atomic commit point; undo GC and the checkpoint are cleanup."""
+        if self._active_batch is None:
+            raise StorageError("no active WAL batch to commit")
+        batch = self._active_batch
+        self.raw.delete(self.intent_page)
+        self._active_batch = None
+        self._journaled = set()
+        self._collect_undo(self._undo_prefix(batch))
+        checkpoint = json.dumps({"batch": batch, "meta": meta or {}}).encode("utf-8")
+        self.raw.write(self.checkpoint_page, checkpoint)
+
+    # -- recovery -------------------------------------------------------------
+
+    def recover(self) -> WalRecovery:
+        """Roll back any incomplete batch; collect committed leftovers.
+
+        Idempotent: safe to call on a clean store, after a crash at any
+        injection point, and repeatedly (a crash during recovery is
+        recovered by the next call).
+        """
+        report = WalRecovery()
+        self._active_batch = None
+        self._journaled = set()
+        intent_batch: int | None = None
+        intent_present = self.intent_page in self.raw
+        if intent_present:
+            try:
+                payload = json.loads(self.raw.read(self.intent_page).decode("utf-8"))
+                intent_batch = int(payload["batch"])
+                report.batch_meta = dict(payload.get("meta") or {})
+            except (ValueError, KeyError, TypeError):
+                # Torn intent write: the batch crashed before its first
+                # data write, so there is nothing to restore.
+                intent_batch = None
+        if intent_batch is not None:
+            report.pages_restored, report.pages_skipped = self._restore_batch(
+                intent_batch
+            )
+        if intent_present:
+            report.rolled_back = True
+            self.raw.delete(self.intent_page)
+        # Undo pages surviving past their intent are committed batches'
+        # leftovers (crash between intent delete and GC) — or the pages
+        # just restored above.  Either way they are garbage now.
+        report.orphans_collected = self._collect_undo(f"{self.prefix}/undo/")
+        self._next_batch = self._discover_next_batch()
+        return report
+
+    def _restore_batch(self, batch: int) -> tuple[int, int]:
+        restored = skipped = 0
+        undo_ids = sorted(self.raw.list_pages(self._undo_prefix(batch)), reverse=True)
+        for undo_id in undo_ids:
+            entry = self._parse_undo(self.raw.read(undo_id))
+            if entry is None:
+                skipped += 1
+                continue
+            page_id, existed, payload = entry
+            if existed:
+                self.raw.write(page_id, payload)
+            elif page_id in self.raw:
+                self.raw.delete(page_id)
+            restored += 1
+        return restored, skipped
+
+    @staticmethod
+    def _parse_undo(data: bytes) -> tuple[str, bool, bytes] | None:
+        head, sep, payload = data.partition(_HEADER_SEP)
+        if not sep:
+            return None
+        try:
+            header = json.loads(head.decode("utf-8"))
+            page_id = str(header["page_id"])
+            existed = bool(header["existed"])
+            size = int(header["size"])
+            crc = int(header["crc"])
+        except (ValueError, KeyError, TypeError):
+            return None
+        if len(payload) != size or zlib.crc32(payload) != crc:
+            return None
+        return page_id, existed, payload
+
+    def _collect_undo(self, prefix: str) -> int:
+        collected = 0
+        for undo_id in list(self.raw.list_pages(prefix)):
+            try:
+                self.raw.delete(undo_id)
+                collected += 1
+            except PageNotFoundError:
+                continue
+        return collected
+
+    # -- introspection -------------------------------------------------------
+
+    def last_checkpoint(self) -> dict | None:
+        """The newest committed batch's checkpoint record, if any."""
+        try:
+            raw = self.raw.read(self.checkpoint_page)
+        except PageNotFoundError:
+            return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None

@@ -121,6 +121,22 @@ class Warehouse:
 
     def _recover(self) -> None:
         """Rediscover heap extent from the store after a restart."""
+        self.resync()
+        # Recovery reads shouldn't pollute experiment I/O accounting.
+        self.store.reset_stats()
+
+    def resync(self) -> None:
+        """Re-derive the heap extent from the pages actually on disk.
+
+        Needed when something outside the warehouse rewrites heap pages
+        under it — WAL rollback of a crashed ingest batch — leaving the
+        in-memory tail/extent counters pointing past the real heap.
+        Unlike construction-time recovery this charges its reads: a
+        running system's rollback is real I/O.
+        """
+        self._page_count = 0
+        self._last_page_rows = 0
+        self._tail = None
         pages = list(self.store.list_pages(self.prefix + "/"))
         self._page_count = len(pages)
         if pages:
@@ -130,8 +146,6 @@ class Warehouse:
             self._last_page_rows = len(last) // ROW_SIZE
             if self._last_page_rows < ROWS_PER_PAGE:
                 self._tail = bytearray(last)
-        # Recovery reads shouldn't pollute experiment I/O accounting.
-        self.store.reset_stats()
 
     # -- write path ---------------------------------------------------------
 

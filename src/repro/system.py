@@ -38,11 +38,17 @@ from repro.dashboard.api import Dashboard
 from repro.geo.zones import ZoneAtlas, build_world
 from repro.obs import MetricsRegistry
 from repro.osm.changesets import ChangesetStore
-from repro.osm.replication import ReplicationFeed
+from repro.osm.replication import (
+    CircuitBreaker,
+    ReplicationFeed,
+    ResilientFeed,
+    RetryPolicy,
+)
 from repro.storage.disk import InMemoryDisk
 from repro.storage.hash_index import HashIndex
 from repro.storage.pages import PageStore
 from repro.storage.spatial_index import GridSpatialIndex
+from repro.storage.wal import IngestWAL
 from repro.storage.warehouse import Warehouse
 from repro.synth.simulator import EditSimulator, SimulationConfig
 
@@ -66,6 +72,18 @@ class SystemConfig:
     #: identical queries still measure real execution — serving
     #: deployments (``rased-repro serve``) turn it on.
     result_cache_slots: int = 0
+    #: Run ingestion through the write-ahead intent log: every daily
+    #: ingest / monthly rebuild becomes one atomic batch, and a crash
+    #: at any point rolls back cleanly on the next start.  Off by
+    #: default so experiment I/O accounting stays bit-identical to the
+    #: WAL-free pipeline — serving deployments turn it on.
+    durable_ingest: bool = False
+    #: Attempts per replication-feed poll operation (1 = no retries).
+    #: Retries back off exponentially with seeded jitter.
+    feed_retry_attempts: int = 1
+    #: Consecutive feed failures that open the poller's circuit
+    #: breaker (0 disables the breaker).
+    feed_breaker_threshold: int = 0
 
 
 class RasedSystem:
@@ -101,10 +119,44 @@ class RasedSystem:
         self.changeset_store = ChangesetStore(feed_root / "changesets")
         self.geocoder = Geocoder(atlas)
 
-        self.index = HierarchicalIndex(schema, store, atlas=atlas, epoch=self.epoch)
-        self.warehouse = Warehouse(store, metrics=self.metrics)
-        self.hash_index = HashIndex(store)
-        self.spatial_index = GridSpatialIndex(store)
+        #: With durable ingestion, every storage component is built
+        #: over the WAL's journaled view, and any batch a previous
+        #: process left half-done is rolled back *before* the warehouse
+        #: scans the heap (a torn tail page would otherwise fail its
+        #: construction-time recovery).
+        self.wal: IngestWAL | None = None
+        effective_store: PageStore = store
+        if config.durable_ingest:
+            self.wal = IngestWAL(store)
+            self.wal.recover()
+            effective_store = self.wal.store
+
+        #: The feed the daily crawler polls: armored with retries and a
+        #: circuit breaker when configured, the raw feed otherwise.
+        self.crawl_feed: ReplicationFeed | ResilientFeed = self.day_feed
+        if config.feed_retry_attempts > 1 or config.feed_breaker_threshold > 0:
+            self.crawl_feed = ResilientFeed(
+                self.day_feed,
+                policy=RetryPolicy(
+                    attempts=max(config.feed_retry_attempts, 1),
+                    base_delay=0.01,
+                    max_delay=0.25,
+                ),
+                breaker=(
+                    CircuitBreaker(config.feed_breaker_threshold)
+                    if config.feed_breaker_threshold > 0
+                    else None
+                ),
+                seed=config.simulation.seed,
+                metrics=self.metrics,
+            )
+
+        self.index = HierarchicalIndex(
+            schema, effective_store, atlas=atlas, epoch=self.epoch
+        )
+        self.warehouse = Warehouse(effective_store, metrics=self.metrics)
+        self.hash_index = HashIndex(effective_store)
+        self.spatial_index = GridSpatialIndex(effective_store)
         self.cache = CacheManager(
             self.index,
             slots=config.cache_slots,
@@ -135,7 +187,7 @@ class RasedSystem:
         )
         self.pipeline = IngestionPipeline(
             daily_crawler=DailyCrawler(
-                self.day_feed, self.changeset_store, self.geocoder
+                self.crawl_feed, self.changeset_store, self.geocoder
             ),
             monthly_crawler=MonthlyCrawler(self.changeset_store, self.geocoder),
             index=self.index,
@@ -144,6 +196,7 @@ class RasedSystem:
             spatial_index=self.spatial_index,
             cache=self.cache,
             metrics=self.metrics,
+            wal=self.wal,
         )
         from repro.core.live import LiveMonitor
 

@@ -42,6 +42,9 @@ DEFAULT_LAYERS: tuple[frozenset[str], ...] = (
     frozenset({"baseline", "synth"}),
     frozenset({"dashboard"}),
     frozenset({"system"}),
+    # Test-support infrastructure (fault injection): may wrap anything
+    # below it, and nothing in the production stack may import it.
+    frozenset({"testing"}),
     frozenset({"tools"}),
     frozenset({"cli"}),
 )

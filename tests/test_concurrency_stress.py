@@ -19,6 +19,8 @@ from repro.synth.simulator import SimulationConfig
 from repro.system import RasedSystem, SystemConfig
 from tests.test_iosched import make_small_index
 
+pytestmark = pytest.mark.stress
+
 JULY = date(2021, 7, 1)
 WINDOW = AnalysisQuery(
     start=date(2021, 7, 1), end=date(2021, 7, 31), group_by=("country",)

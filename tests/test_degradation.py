@@ -1,0 +1,196 @@
+"""Graceful degradation, end to end: quarantine → partial=true → heal.
+
+The ISSUE contract: a corrupt or missing cube page must not take the
+dashboard down.  The executor answers what it can with an explicit
+``partial=true`` flag, the bad cube is quarantined (visible on
+``/health`` and the metrics registry), and rewriting the cube heals it
+back into service — including through the HTTP surface and around the
+result cache (a partial answer must never be memoized as if complete).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from datetime import date, timedelta
+
+import pytest
+
+from repro.core.calendar import day_key
+from repro.core.hierarchy import page_id_for
+from repro.core.query import AnalysisQuery
+from repro.dashboard.server import DashboardServer
+from repro.storage.disk import InMemoryDisk
+from repro.storage.serializer import deserialize_cube
+from repro.synth.simulator import SimulationConfig
+from repro.system import RasedSystem, SystemConfig
+from repro.testing import FaultPlan, FaultyPageStore
+
+START = date(2021, 1, 1)
+END = date(2021, 1, 4)
+VICTIM = date(2021, 1, 2)
+
+_QUERY = AnalysisQuery(start=START, end=END)
+
+
+def _build(atlas, store=None, **config_kw) -> RasedSystem:
+    system = RasedSystem.create(
+        atlas=atlas,
+        store=store or InMemoryDisk(read_latency=0, write_latency=0),
+        config=SystemConfig(
+            road_types=8,
+            cache_slots=0,
+            simulation=SimulationConfig(
+                seed=23,
+                mapper_count=6,
+                base_sessions_per_day=2,
+                nodes_per_country=2,
+            ),
+            **config_kw,
+        ),
+    )
+    system.simulate_and_ingest(START, END)
+    return system
+
+
+@pytest.fixture(scope="module")
+def clean_totals(atlas) -> tuple[int, int]:
+    """(window total, victim-day total) from an unbroken deployment."""
+    dashboard = _build(atlas).dashboard
+    return (
+        dashboard.analysis(_QUERY).total,
+        dashboard.analysis(AnalysisQuery(start=VICTIM, end=VICTIM)).total,
+    )
+
+
+class TestPartialAnswers:
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_missing_page_yields_partial_not_crash(
+        self, atlas, clean_totals, parallelism
+    ):
+        """Both fetch paths (serial loop and the I/O scheduler) degrade
+        the same way: answer minus the lost day, flagged partial."""
+        full_total, victim_total = clean_totals
+        system = _build(atlas, fetch_parallelism=parallelism)
+        system.store.delete(page_id_for(day_key(VICTIM)))
+
+        result = system.dashboard.analysis(_QUERY)
+        assert result.stats.partial is True
+        assert result.stats.quarantined_cubes == 1
+        assert result.total == full_total - victim_total
+        assert system.index.quarantined_count() == 1
+
+    def test_corrupt_read_from_fault_plan_quarantines(self, atlas, clean_totals):
+        """An injected bit-flip on a cube read ends in quarantine, not
+        a crashed query — the paper's dashboard stays up."""
+        full_total, _ = clean_totals
+        disk = InMemoryDisk(read_latency=0, write_latency=0)
+        faulty = FaultyPageStore(disk)
+        system = _build(atlas, store=faulty)
+        faulty.plan = FaultPlan.single(
+            "store.read",
+            kind="corrupt",
+            seed=3,
+            page_prefix=f"cubes/{day_key(VICTIM)}",
+        )
+        result = system.dashboard.analysis(_QUERY)
+        assert result.stats.partial is True
+        assert result.total < full_total
+        assert day_key(VICTIM) in system.index.quarantined_keys()
+
+    def test_metrics_count_partial_answers(self, atlas):
+        system = _build(atlas)
+        system.store.delete(page_id_for(day_key(VICTIM)))
+        system.dashboard.analysis(_QUERY)
+        counters = system.metrics.snapshot()["counters"]
+        assert counters["rased_queries_partial_total"][0]["value"] == 1
+        assert counters["rased_query_quarantined_cubes_total"][0]["value"] == 1
+
+    def test_heal_by_rewriting_the_cube(self, atlas, clean_totals):
+        full_total, _ = clean_totals
+        system = _build(atlas)
+        victim_page = page_id_for(day_key(VICTIM))
+        good_bytes = system.store.read(victim_page)
+        system.store.delete(victim_page)
+        assert system.dashboard.analysis(_QUERY).stats.partial is True
+
+        system.index.put(deserialize_cube(good_bytes, system.schema))
+        healed = system.dashboard.analysis(_QUERY)
+        assert healed.stats.partial is False
+        assert healed.total == full_total
+        assert system.index.quarantined_count() == 0
+
+
+class TestResultCacheInteraction:
+    def test_partial_answers_are_never_memoized(self, atlas, clean_totals):
+        """A memoized partial answer would keep serving the hole after
+        the heal; the executor must skip the result cache for them."""
+        full_total, _ = clean_totals
+        system = _build(atlas, result_cache_slots=8)
+        victim_page = page_id_for(day_key(VICTIM))
+        good_bytes = system.store.read(victim_page)
+        system.store.delete(victim_page)
+
+        first = system.dashboard.analysis(_QUERY)
+        second = system.dashboard.analysis(_QUERY)
+        assert first.stats.partial and second.stats.partial
+
+        system.index.put(deserialize_cube(good_bytes, system.schema))
+        healed = system.dashboard.analysis(_QUERY)
+        assert healed.stats.partial is False
+        assert healed.total == full_total
+
+
+class TestHttpSurface:
+    @pytest.fixture()
+    def degraded_server(self, atlas):
+        system = _build(atlas)
+        system.store.delete(page_id_for(day_key(VICTIM)))
+        with DashboardServer(system.dashboard) as server:
+            yield server, system
+
+    def _post_analysis(self, server):
+        request = urllib.request.Request(
+            server.url + "/analysis",
+            data=json.dumps(
+                {"start": START.isoformat(), "end": END.isoformat()}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_analysis_carries_the_partial_flag(self, degraded_server):
+        server, _ = degraded_server
+        status, payload = self._post_analysis(server)
+        assert status == 200
+        assert payload["partial"] is True
+        assert payload["stats"]["quarantined_cubes"] == 1
+
+    def test_health_reports_degraded(self, degraded_server):
+        server, _ = degraded_server
+        # The quarantine happens on first touch; trigger it.
+        self._post_analysis(server)
+        with urllib.request.urlopen(server.url + "/health") as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "degraded"
+        assert payload["quarantined_cubes"] == 1
+
+    def test_prometheus_exposes_partial_counters(self, degraded_server):
+        server, _ = degraded_server
+        self._post_analysis(server)
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            text = response.read().decode("utf-8")
+        assert "rased_queries_partial_total 1" in text
+
+
+class TestQuarantineScope:
+    def test_untouched_days_still_answer_complete(self, atlas):
+        """Queries that never touch the quarantined day stay partial-free."""
+        system = _build(atlas)
+        system.store.delete(page_id_for(day_key(VICTIM)))
+        clean = AnalysisQuery(start=END - timedelta(days=1), end=END)
+        result = system.dashboard.analysis(clean)
+        assert result.stats.partial is False
+        assert result.stats.quarantined_cubes == 0

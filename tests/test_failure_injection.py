@@ -21,6 +21,7 @@ from repro.errors import (
 )
 from repro.collection.records import UpdateList, UpdateRecord
 from repro.storage.disk import DirectoryDisk, InMemoryDisk
+from repro.storage.serializer import deserialize_cube
 from repro.storage.hash_index import HashIndex
 from repro.storage.warehouse import RowPointer, Warehouse
 
@@ -74,7 +75,8 @@ class TestCorruptCubePages:
             index.get(day_key(date(2021, 3, 5)))
 
     def test_error_does_not_poison_catalog(self, index_with_data):
-        """After a corrupt read, re-writing the cube heals the index."""
+        """A corrupt read quarantines the key; re-writing the cube
+        heals it back into service."""
         index, disk = index_with_data
         key = day_key(date(2021, 3, 5))
         page_id = page_id_for(key)
@@ -82,26 +84,39 @@ class TestCorruptCubePages:
         disk._pages[page_id] = good[:50]
         with pytest.raises(PageCorruptError):
             index.get(key)
-        disk._pages[page_id] = good
+        # The bad page is out of service, not crashing every query.
+        assert not index.has(key)
+        assert key in index.quarantined_keys()
+        # Maintenance rewriting the cube restores it.
+        cube = deserialize_cube(good, index.schema)
+        index.put(cube)
+        assert index.has(key)
+        assert key not in index.quarantined_keys()
         assert index.get(key).total == 1
 
 
 class TestQueryPathFailures:
-    def test_missing_page_surfaces_during_query(self, tiny_schema):
-        """A cataloged cube whose page vanished fails loudly, not with
-        silently dropped counts."""
+    def test_missing_page_degrades_to_partial_answer(self, tiny_schema):
+        """A cataloged cube whose page vanished yields partial=True —
+        never a crash, never a silently-complete-looking total."""
         from repro.core.executor import QueryExecutor
         from repro.core.query import AnalysisQuery
 
         disk = InMemoryDisk(read_latency=0, write_latency=0)
         index = HierarchicalIndex(tiny_schema, disk)
         index.ingest_day(date(2021, 3, 5), _updates(date(2021, 3, 5)))
+        index.ingest_day(date(2021, 3, 6), _updates(date(2021, 3, 6)))
         del disk._pages[page_id_for(day_key(date(2021, 3, 5)))]
         executor = QueryExecutor(index)
-        with pytest.raises(PageNotFoundError):
-            executor.execute(
-                AnalysisQuery(start=date(2021, 3, 5), end=date(2021, 3, 5))
-            )
+        result = executor.execute(
+            AnalysisQuery(start=date(2021, 3, 5), end=date(2021, 3, 6))
+        )
+        assert result.stats.partial is True
+        assert result.stats.quarantined_cubes == 1
+        # The surviving day still answers.
+        assert result.total == 1
+        # And the bad day is quarantined for the health endpoint.
+        assert index.quarantined_count() == 1
 
 
 class TestWarehouseFailures:

@@ -9,6 +9,7 @@ ranges, cache states, and index hole patterns.
 
 from __future__ import annotations
 
+import random
 from datetime import date, timedelta
 
 import pytest
@@ -193,3 +194,76 @@ class TestOptimalityWithHoles:
         # may still be *covered* by an existing weekly/monthly rollup).
         for day in plan.missing_days:
             assert not holey_index.has(day_key(day))
+
+
+class TestSeededSweep:
+    """500 seeded (range, cache-state) cells against the DP oracle.
+
+    The hypothesis suites above shrink well but explore ~150 examples;
+    this sweep is the exhaustive complement — ten cells per seed, every
+    cell replayable by its printed seed number, half of them over an
+    index with Bernoulli holes.  Each cell checks both claims at once:
+    cost-optimality against :func:`_dp_reference_cost` and an
+    exactly-once day-level cover (no gap, no overlap, missing days
+    partition the remainder).
+    """
+
+    pytestmark = pytest.mark.slow
+
+    _LAST_DAY = date(2021, 6, 30)
+
+    @pytest.fixture(scope="class")
+    def sparse_index(self, tiny_schema):
+        """Jan-Jun 2021 with each day present with probability 0.8."""
+        rng = random.Random(99)
+        disk = InMemoryDisk(read_latency=0, write_latency=0)
+        index = HierarchicalIndex(tiny_schema, disk)
+        day = date(2021, 1, 1)
+        while day <= self._LAST_DAY:
+            if rng.random() < 0.8:
+                index.ingest_day(day, _updates(day))
+            day += timedelta(days=1)
+        return index
+
+    def _check_cell(self, index, rng):
+        offset = rng.randrange(0, 170)
+        span = rng.randrange(0, 75)
+        start = date(2021, 1, 1) + timedelta(days=offset)
+        end = min(start + timedelta(days=span), self._LAST_DAY)
+        pool = (
+            index.keys(Level.DAY)
+            + index.keys(Level.WEEK)
+            + index.keys(Level.MONTH)
+        )
+        cached = frozenset(rng.sample(pool, rng.randrange(0, 25)))
+
+        plan = LevelOptimizer(index).plan(start, end, cached)
+
+        assert (plan.disk_reads, plan.cube_count) == _dp_reference_cost(
+            index, start, end, cached
+        )
+        covered = []
+        for key in plan.keys:
+            day = key.start
+            while day <= key.end:
+                covered.append(day)
+                day += timedelta(days=1)
+        assert covered == sorted(covered), "plan keys out of order"
+        assert len(covered) == len(set(covered)), "a day covered twice"
+        all_days = {
+            start + timedelta(days=i) for i in range((end - start).days + 1)
+        }
+        assert set(covered) | set(plan.missing_days) == all_days
+        assert set(covered) & set(plan.missing_days) == set()
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_dense_cells(self, dense_index, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            self._check_cell(dense_index, rng)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_sparse_cells(self, sparse_index, seed):
+        rng = random.Random(1000 + seed)
+        for _ in range(10):
+            self._check_cell(sparse_index, rng)

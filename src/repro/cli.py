@@ -52,7 +52,10 @@ def _open_system(
     durable: bool = False,
     feed_retries: int = 1,
     feed_breaker: int = 0,
+    admission: "AdmissionConfig | None" = None,
 ) -> RasedSystem:
+    from repro.dashboard.admission import AdmissionConfig
+
     root_path = Path(root)
     store = DirectoryDisk(root_path / "pages")
     config = SystemConfig(
@@ -63,6 +66,7 @@ def _open_system(
         durable_ingest=durable,
         feed_retry_attempts=feed_retries,
         feed_breaker_threshold=feed_breaker,
+        admission=admission if admission is not None else AdmissionConfig(),
     )
     return RasedSystem.create(
         root=root_path / "feeds", config=config, store=store
@@ -234,13 +238,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.dashboard.admission import AdmissionConfig
     from repro.dashboard.server import DashboardServer
 
+    admission_config = AdmissionConfig(
+        key_file=args.api_keys,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        daily_quota=args.daily_quota,
+        default_deadline_ms=args.default_deadline_ms,
+        max_deadline_ms=args.max_deadline_ms,
+        shed_threshold=args.shed_threshold,
+        shed_resume=args.shed_resume,
+    )
     system = _open_system(
         args.root,
         cache_slots=args.cache_slots,
         result_cache_slots=args.result_cache_slots,
         durable=args.durable,
+        admission=admission_config,
     )
     if system.wal is not None:
         system.pipeline.recover()
@@ -250,6 +266,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         threaded=not args.single_thread,
+        admission=system.admission,
+        max_body_bytes=args.max_body_bytes,
+        drain_timeout=args.drain_timeout,
     )
     server.start()
     print(f"dashboard API on {server.url} (Ctrl-C to stop)")
@@ -367,6 +386,74 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="open the deployment in durable-ingest mode (rolls back "
         "any crashed ingest batch before serving)",
+    )
+    admission_group = serve.add_argument_group(
+        "admission control",
+        "front-door policy; every flag defaults to off, leaving the "
+        "server exactly as permissive as before",
+    )
+    admission_group.add_argument(
+        "--api-keys",
+        default=None,
+        metavar="FILE",
+        help='tenant key file ({"tenants": [{"name": ..., "key": ...}]});'
+        " set it to require X-API-Key on every request",
+    )
+    admission_group.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="sustained per-tenant requests/second (0 disables)",
+    )
+    admission_group.add_argument(
+        "--burst",
+        type=float,
+        default=0.0,
+        help="burst allowance on top of --rate-limit (0 = max(rate, 1))",
+    )
+    admission_group.add_argument(
+        "--daily-quota",
+        type=int,
+        default=0,
+        help="per-tenant requests per day (0 disables)",
+    )
+    admission_group.add_argument(
+        "--default-deadline-ms",
+        type=int,
+        default=0,
+        help="deadline for requests without X-Deadline-Ms (0 disables)",
+    )
+    admission_group.add_argument(
+        "--max-deadline-ms",
+        type=int,
+        default=60_000,
+        help="upper clamp on client-requested deadlines",
+    )
+    admission_group.add_argument(
+        "--shed-threshold",
+        type=int,
+        default=0,
+        help="in-flight requests at which new arrivals are shed with "
+        "503 (0 disables)",
+    )
+    admission_group.add_argument(
+        "--shed-resume",
+        type=int,
+        default=0,
+        help="in-flight level at which shedding disengages "
+        "(0 = 3/4 of --shed-threshold)",
+    )
+    admission_group.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=1 << 20,
+        help="largest accepted POST body; bigger answers 413",
+    )
+    admission_group.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds stop() waits for in-flight requests to finish",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -1,0 +1,101 @@
+"""Per-request deadlines propagated through the query path.
+
+A :class:`Deadline` is a budget on an injected monotonic clock.  The
+dashboard's admission layer creates one per admitted request (from the
+``X-Deadline-Ms`` header or the configured default) and installs it
+with :func:`deadline_scope`; the executor calls :func:`check_deadline`
+at phase boundaries, so a request whose budget has already been burned
+stops before scheduling more disk reads instead of completing work
+nobody is waiting for.
+
+Propagation uses a :class:`contextvars.ContextVar`, which is inherited
+per-thread: the serving thread that runs the executor synchronously
+sees the deadline without any API change, while unrelated concurrent
+requests (other threads) never observe it.  With no deadline in scope
+every check is a single context-variable read — cheap enough to sit on
+the hot path unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError, DeadlineExceededError
+
+__all__ = [
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class Deadline:
+    """A monotonic-clock expiry the query path checks at boundaries."""
+
+    __slots__ = ("budget_seconds", "_clock", "_expires_at")
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_seconds <= 0.0:
+            raise ConfigError(
+                f"deadline budget must be positive, got {budget_seconds!r}"
+            )
+        self.budget_seconds = budget_seconds
+        self._clock = clock
+        self._expires_at = clock() + budget_seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, phase: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            where = f" at {phase}" if phase else ""
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_seconds * 1000.0:.0f} ms "
+                f"exceeded{where} "
+                f"(over by {-remaining * 1000.0:.1f} ms)"
+            )
+
+
+_CURRENT: ContextVar[Deadline | None] = ContextVar(
+    "rased_request_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the calling context, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[None]:
+    """Install ``deadline`` for the duration of the ``with`` block.
+
+    ``None`` is accepted (and clears any inherited deadline) so callers
+    can wrap every request uniformly whether or not one was assigned.
+    """
+    token = _CURRENT.set(deadline)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def check_deadline(phase: str = "") -> None:
+    """Check the ambient deadline; a no-op when none is in scope."""
+    deadline = _CURRENT.get()
+    if deadline is not None:
+        deadline.check(phase)

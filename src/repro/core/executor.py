@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.cache import HIT_KEYS, MISS_KEYS, CacheManager
 from repro.core.calendar import TemporalKey, series_periods
 from repro.core.cube import DataCube
+from repro.core.deadline import check_deadline
 from repro.core.hierarchy import HierarchicalIndex
 from repro.core.iosched import IOScheduler
 from repro.core.optimizer import LevelOptimizer, QueryPlan
@@ -225,6 +226,9 @@ class QueryExecutor:
         plan_started = time.perf_counter()
         plan = self.plan(query)
         stats.trace.add("phase1.plan", time.perf_counter() - plan_started)
+        # Phase boundary: a request whose deadline already expired must
+        # not start paying for disk reads it cannot use.
+        check_deadline("phase1.plan")
         fetched = self._prefetch(plan.keys, stats)
         accumulated, labels = self._aggregate_plan(plan, query, stats, fetched)
         if accumulated is None:
@@ -257,6 +261,10 @@ class QueryExecutor:
         if refresh or self.iosched is None:
             first = True
             for window_start, window_end in periods:
+                # Period boundary: each window plans and fetches its
+                # own cubes, so this is the natural stop for a doomed
+                # time-series query.
+                check_deadline("phase1.plan")
                 plan_started = time.perf_counter()
                 if refresh and not first:
                     cached = self.cache.contents()
@@ -289,6 +297,7 @@ class QueryExecutor:
         all_keys = [key for _, plan in plans for key in plan.keys]
         fetched = self._prefetch(all_keys, stats)
         for window_start, plan in plans:
+            check_deadline("phase2.aggregate")
             accumulated, labels = self._aggregate_plan(plan, query, stats, fetched)
             if accumulated is None:
                 continue
@@ -340,6 +349,9 @@ class QueryExecutor:
         else:
             misses = keys
         if misses:
+            # Phase boundary: the cache sweep was free; the miss batch
+            # is where the disk cost starts.
+            check_deadline("phase1.fetch.disk")
             disk_started = time.perf_counter()
             batch = self.iosched.fetch_many(misses, self._load_cube)
             self.index.store.rebook_overlapped_reads(batch.led)
@@ -396,6 +408,10 @@ class QueryExecutor:
                 by_level = stats.cache_hits_by_level
                 by_level[level] = by_level.get(level, 0) + 1
                 return cube, True
+        # Serial fetch path: every miss is one real page read, so the
+        # deadline is re-checked per read (the overlapped path checks
+        # once per miss batch instead).
+        check_deadline("phase1.fetch.disk")
         try:
             loaded = self.index.get(key)
         except _DEGRADABLE:

@@ -25,31 +25,60 @@ dashboard under heavy concurrent traffic, and the whole query path —
 executor, cube cache, I/O scheduler, result cache, metrics — is
 thread-safe.  Pass ``threaded=False`` for the old single-threaded
 behaviour (the concurrency bench uses it as its baseline).
+
+Error mapping is centralized in the handler: domain errors
+(:class:`~repro.errors.RasedError`, ``ValueError``) answer 400, an
+expired request deadline answers 504, oversized bodies 413, and any
+other exception becomes a 500 JSON error instead of tearing down the
+connection with no response (and a bogus ``status="0"`` metric label).
+
+An optional :class:`~repro.dashboard.admission.AdmissionController`
+sits in front of every request — auth, rate limits, quotas, deadlines
+and load shedding; see :mod:`repro.dashboard.admission`.  Without one
+the server behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from datetime import date
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
+from typing import Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.baseline.sqlgen import to_sql
 from repro.core.calendar import Level
+from repro.core.deadline import deadline_scope
 from repro.core.query import AnalysisQuery
+from repro.dashboard.admission import AdmissionController
 from repro.dashboard.api import Dashboard
-from repro.errors import QueryError, RasedError
+from repro.errors import DeadlineExceededError, QueryError, RasedError
 
 # Metric names as module constants (labels vary per request, so the
 # keys cannot be fully prepared the way the executor's are).
 _M_HTTP_REQUESTS = "rased_http_requests_total"
 _M_HTTP_SECONDS = "rased_http_request_seconds"
 
-__all__ = ["query_from_json", "result_to_json", "DashboardServer"]
+__all__ = [
+    "query_from_json",
+    "result_to_json",
+    "DashboardServer",
+    "DEFAULT_MAX_BODY_BYTES",
+    "MAX_SAMPLE_N",
+]
 
 _LEVELS = {level.label: level for level in Level}
+
+#: Upper bound on ``?n=`` for /samples and /contributors; a request for
+#: more is clamped, not rejected, so naive clients still work.
+MAX_SAMPLE_N = 10_000
+
+#: Default cap on POST body size (1 MiB); a real analysis query is a
+#: few hundred bytes, so anything near this is hostile or broken.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 #: Known endpoint families, used as the ``path`` label on HTTP metrics
 #: so an attacker probing random URLs cannot mint unbounded series.
@@ -135,23 +164,84 @@ def result_to_json(result) -> dict:
     }
 
 
+def _clamped_count(params: Mapping[str, list[str]], default: int) -> int:
+    """Parse ``?n=`` defensively: reject garbage, clamp the greedy."""
+    raw = params.get("n", [str(default)])[0]
+    try:
+        n = int(raw)
+    except ValueError:
+        raise QueryError(f"n must be an integer, got {raw!r}") from None
+    if n < 0:
+        raise QueryError(f"n must be non-negative, got {n}")
+    return min(n, MAX_SAMPLE_N)
+
+
+class _RequestTracker:
+    """Counts in-flight requests so ``stop()`` can drain gracefully."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self._inflight = 0  # guarded-by: _lock
+
+    def enter(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def exit(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._lock.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """True once no requests are in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    return False
+                self._lock.wait(remaining)
+        return True
+
+
 class _Handler(BaseHTTPRequestHandler):
     dashboard: Dashboard  # injected by DashboardServer
+    tracker: _RequestTracker  # injected by DashboardServer
+    admission: AdmissionController | None = None
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
 
     # Silence per-request logging; tests drive many requests.
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         pass
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
         self._send_bytes(
-            status, json.dumps(payload).encode("utf-8"), "application/json"
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            extra_headers,
         )
 
-    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
         self._status = status
+        self._responded = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -159,9 +249,12 @@ class _Handler(BaseHTTPRequestHandler):
         """Run one request handler and record HTTP-level metrics."""
         started = time.perf_counter()
         self._status = 0
+        self._responded = False
+        self.tracker.enter()
         try:
-            handler()
+            self._admit_and_run(handler)
         finally:
+            self.tracker.exit()
             metrics = self.dashboard.metrics
             family = _path_family(urlparse(self.path).path)
             metrics.inc(
@@ -175,88 +268,149 @@ class _Handler(BaseHTTPRequestHandler):
                 path=family,
             )
 
+    def _admit_and_run(self, handler) -> None:
+        """Apply front-door policy (when configured), then the handler."""
+        admission = self.admission
+        if admission is None:
+            self._run_guarded(handler)
+            return
+        decision = admission.admit(
+            self.headers.get("X-API-Key"),
+            self.headers.get("X-Deadline-Ms"),
+        )
+        if not decision.allowed:
+            extra = (
+                # Whole seconds, rounded up: "Retry-After: 0" invites an
+                # immediate retry, which defeats the rejection.
+                {"Retry-After": str(max(1, math.ceil(decision.retry_after)))}
+                if decision.retry_after is not None
+                else None
+            )
+            self._send(decision.status, {"error": decision.error}, extra)
+            return
+        try:
+            with deadline_scope(decision.deadline):
+                self._run_guarded(handler)
+        finally:
+            admission.release()
+
+    def _run_guarded(self, handler) -> None:
+        """Run a handler with the full error -> status mapping."""
+        try:
+            handler()
+        except DeadlineExceededError as exc:
+            if self.admission is not None:
+                self.admission.record_deadline_hit(
+                    _path_family(urlparse(self.path).path)
+                )
+            self._send(504, {"error": str(exc)})
+        except (RasedError, ValueError) as exc:
+            # json.JSONDecodeError is a ValueError subclass.
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # lint: allow[broad-except] last-resort 500; re-raised if the response already started
+            if self._responded:
+                raise
+            self._send(500, {"error": f"internal error: {exc}"})
+
     def do_GET(self) -> None:  # noqa: N802
         self._timed(self._handle_get)
 
     def _handle_get(self) -> None:
         parsed = urlparse(self.path)
-        try:
-            if parsed.path == "/health":
-                index = self.dashboard.executor.index
-                coverage = index.coverage()
-                quarantined = index.quarantined_count()
-                self._send(
+        if parsed.path == "/health":
+            index = self.dashboard.executor.index
+            coverage = index.coverage()
+            quarantined = index.quarantined_count()
+            self._send(
+                200,
+                {
+                    # "degraded" = still serving, but some cubes are
+                    # quarantined and answers touching them carry
+                    # partial=true.
+                    "status": "degraded" if quarantined else "ok",
+                    "coverage": [d.isoformat() for d in coverage]
+                    if coverage
+                    else None,
+                    "pages": index.total_pages(),
+                    "quarantined_cubes": quarantined,
+                },
+            )
+        elif parsed.path == "/zones":
+            self._send(
+                200, {"zones": self.dashboard.atlas.zone_names()}
+            )
+        elif parsed.path == "/samples":
+            params = parse_qs(parsed.query)
+            zone = params.get("zone", [None])[0]
+            if zone is None:
+                raise QueryError("samples requires ?zone=<name>")
+            n = _clamped_count(params, default=100)
+            records = self.dashboard.sample_updates(zone, n=n)
+            self._send(200, {"samples": [r.to_tsv().split("\t") for r in records]})
+        elif parsed.path.startswith("/changeset/"):
+            changeset_id = int(parsed.path.rsplit("/", 1)[1])
+            records = self.dashboard.changeset_updates(changeset_id)
+            self._send(200, {"updates": [r.to_tsv().split("\t") for r in records]})
+        elif parsed.path == "/metrics":
+            params = parse_qs(parsed.query)
+            wanted = params.get("format", ["prometheus"])[0]
+            registry = self.dashboard.metrics
+            if wanted == "json":
+                self._send(200, registry.snapshot())
+            elif wanted == "prometheus":
+                self._send_bytes(
                     200,
-                    {
-                        # "degraded" = still serving, but some cubes are
-                        # quarantined and answers touching them carry
-                        # partial=true.
-                        "status": "degraded" if quarantined else "ok",
-                        "coverage": [d.isoformat() for d in coverage]
-                        if coverage
-                        else None,
-                        "pages": index.total_pages(),
-                        "quarantined_cubes": quarantined,
-                    },
-                )
-            elif parsed.path == "/zones":
-                self._send(
-                    200, {"zones": self.dashboard.atlas.zone_names()}
-                )
-            elif parsed.path == "/samples":
-                params = parse_qs(parsed.query)
-                zone = params.get("zone", [None])[0]
-                if zone is None:
-                    raise QueryError("samples requires ?zone=<name>")
-                n = int(params.get("n", ["100"])[0])
-                records = self.dashboard.sample_updates(zone, n=n)
-                self._send(200, {"samples": [r.to_tsv().split("\t") for r in records]})
-            elif parsed.path.startswith("/changeset/"):
-                changeset_id = int(parsed.path.rsplit("/", 1)[1])
-                records = self.dashboard.changeset_updates(changeset_id)
-                self._send(200, {"updates": [r.to_tsv().split("\t") for r in records]})
-            elif parsed.path == "/metrics":
-                params = parse_qs(parsed.query)
-                wanted = params.get("format", ["prometheus"])[0]
-                registry = self.dashboard.metrics
-                if wanted == "json":
-                    self._send(200, registry.snapshot())
-                elif wanted == "prometheus":
-                    self._send_bytes(
-                        200,
-                        registry.to_prometheus().encode("utf-8"),
-                        "text/plain; version=0.0.4; charset=utf-8",
-                    )
-                else:
-                    raise QueryError(
-                        "metrics format must be 'prometheus' or 'json'"
-                    )
-            elif parsed.path == "/contributors":
-                params = parse_qs(parsed.query)
-                n = int(params.get("n", ["10"])[0])
-                contributors = self.dashboard.top_contributors(n)
-                self._send(
-                    200,
-                    {
-                        "contributors": [
-                            {
-                                "user": c.user,
-                                "uid": c.uid,
-                                "sessions": c.session_count,
-                                "changes": c.change_count,
-                                "bulk_sessions": c.bulk_session_count,
-                            }
-                            for c in contributors
-                        ]
-                    },
+                    registry.to_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
                 )
             else:
-                self._send(404, {"error": f"unknown path {parsed.path}"})
-        except (RasedError, ValueError) as exc:
-            self._send(400, {"error": str(exc)})
+                raise QueryError(
+                    "metrics format must be 'prometheus' or 'json'"
+                )
+        elif parsed.path == "/contributors":
+            params = parse_qs(parsed.query)
+            n = _clamped_count(params, default=10)
+            contributors = self.dashboard.top_contributors(n)
+            self._send(
+                200,
+                {
+                    "contributors": [
+                        {
+                            "user": c.user,
+                            "uid": c.uid,
+                            "sessions": c.session_count,
+                            "changes": c.change_count,
+                            "bulk_sessions": c.bulk_session_count,
+                        }
+                        for c in contributors
+                    ]
+                },
+            )
+        else:
+            self._send(404, {"error": f"unknown path {parsed.path}"})
 
     def do_POST(self) -> None:  # noqa: N802
         self._timed(self._handle_post)
+
+    def _read_body(self) -> bytes:
+        """Read the POST body, validating Content-Length first.
+
+        ``int()`` used to be applied to the raw header with no checks: a
+        negative value made ``rfile.read(-1)`` block for EOF on a keep-
+        alive socket, and a huge one let one request allocate the whole
+        declared size.  Malformed or negative lengths now answer 400 and
+        anything over ``max_body_bytes`` answers 413 without reading.
+        """
+        raw = self.headers.get("Content-Length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise QueryError(f"Content-Length must be an integer, got {raw!r}") from None
+        if length < 0:
+            raise QueryError(f"Content-Length must be non-negative, got {length}")
+        if length > self.max_body_bytes:
+            raise _BodyTooLarge(length, self.max_body_bytes)
+        return self.rfile.read(length)
 
     def _handle_post(self) -> None:
         parsed = urlparse(self.path)
@@ -264,28 +418,38 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"unknown path {parsed.path}"})
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            if parsed.path == "/analysis/sql":
-                sql = payload.get("sql")
-                if not isinstance(sql, str):
-                    raise QueryError('body must be {"sql": "SELECT ..."}')
-                result = self.dashboard.analysis_sql(sql)
+            body = self._read_body()
+        except _BodyTooLarge as exc:
+            self._send(413, {"error": str(exc)})
+            return
+        payload = json.loads(body or b"{}")
+        if parsed.path == "/analysis/sql":
+            sql = payload.get("sql")
+            if not isinstance(sql, str):
+                raise QueryError('body must be {"sql": "SELECT ..."}')
+            result = self.dashboard.analysis_sql(sql)
+        else:
+            query = query_from_json(payload)
+            if parsed.path == "/analysis/live":
+                result = self.dashboard.analysis_live(query)
             else:
-                query = query_from_json(payload)
-                if parsed.path == "/analysis/live":
-                    result = self.dashboard.analysis_live(query)
-                else:
-                    result = self.dashboard.analysis(query)
-            self._send(200, result_to_json(result))
-        except (RasedError, ValueError, json.JSONDecodeError) as exc:
-            self._send(400, {"error": str(exc)})
+                result = self.dashboard.analysis(query)
+        self._send(200, result_to_json(result))
+
+
+class _BodyTooLarge(Exception):
+    """Internal: a declared body size exceeded the configured cap."""
+
+    def __init__(self, declared: int, cap: int) -> None:
+        super().__init__(
+            f"request body of {declared} bytes exceeds the {cap}-byte limit"
+        )
 
 
 class _ThreadedServer(ThreadingHTTPServer):
-    #: Request threads die with the process (stop() still joins them
-    #: gracefully via shutdown); a burst of 64 concurrent clients must
-    #: not be refused at the accept queue.
+    #: Request threads die with the process (stop() still drains them
+    #: gracefully via the request tracker); a burst of 64 concurrent
+    #: clients must not be refused at the accept queue.
     daemon_threads = True
     request_queue_size = 128
 
@@ -300,6 +464,14 @@ class DashboardServer:
     ``threaded=True`` (the default) serves each request on its own
     thread; ``threaded=False`` keeps the serial accept-handle-respond
     loop as a measurable baseline.
+
+    ``admission`` (optional) installs an
+    :class:`~repro.dashboard.admission.AdmissionController` in front of
+    every request.  ``stop()`` drains: the admission layer (when
+    present) turns new arrivals away with 503, the accept loop halts,
+    and in-flight requests get up to ``drain_timeout`` seconds to
+    finish before the sockets close — previously ``daemon_threads``
+    meant they were simply abandoned mid-response.
     """
 
     def __init__(
@@ -308,8 +480,23 @@ class DashboardServer:
         host: str = "127.0.0.1",
         port: int = 0,
         threaded: bool = True,
+        admission: AdmissionController | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        drain_timeout: float = 5.0,
     ):
-        handler = type("BoundHandler", (_Handler,), {"dashboard": dashboard})
+        self._tracker = _RequestTracker()
+        self._admission = admission
+        self._drain_timeout = drain_timeout
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {
+                "dashboard": dashboard,
+                "tracker": self._tracker,
+                "admission": admission,
+                "max_body_bytes": max_body_bytes,
+            },
+        )
         server_cls = _ThreadedServer if threaded else _SerialServer
         self._http = server_cls((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -323,6 +510,10 @@ class DashboardServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    @property
+    def admission(self) -> AdmissionController | None:
+        return self._admission
+
     def start(self) -> None:
         self._thread = threading.Thread(
             target=self._http.serve_forever, name="rased-dashboard", daemon=True
@@ -330,7 +521,10 @@ class DashboardServer:
         self._thread.start()
 
     def stop(self) -> None:
+        if self._admission is not None:
+            self._admission.begin_drain()
         self._http.shutdown()
+        self._tracker.wait_idle(self._drain_timeout)
         self._http.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -55,6 +55,14 @@ class QueryError(RasedError):
     """A malformed or unanswerable analysis/sample query."""
 
 
+class DeadlineExceededError(RasedError):
+    """A request's deadline expired before its work completed.
+
+    Raised at phase boundaries inside the query path (so a doomed
+    query stops issuing disk reads) and mapped to HTTP 504 by the
+    dashboard's front door rather than the generic 400."""
+
+
 class PlanError(QueryError):
     """The level optimizer could not cover the requested date range."""
 

@@ -34,6 +34,7 @@ from repro.collection.geocode import Geocoder
 from repro.collection.records import UpdateList as UpdateListType
 from repro.collection.monthly import MonthlyCrawler
 from repro.collection.pipeline import IngestionPipeline, IngestReport
+from repro.dashboard.admission import AdmissionConfig, AdmissionController
 from repro.dashboard.api import Dashboard
 from repro.geo.zones import ZoneAtlas, build_world
 from repro.obs import MetricsRegistry
@@ -84,6 +85,12 @@ class SystemConfig:
     #: Consecutive feed failures that open the poller's circuit
     #: breaker (0 disables the breaker).
     feed_breaker_threshold: int = 0
+    #: Front-door policy for the HTTP server: auth, rate limits,
+    #: quotas, per-request deadlines, and load shedding.  The default
+    #: disables every feature, so nothing is admission-checked and
+    #: benchmarks stay bit-identical — serving deployments opt in via
+    #: the ``rased-repro serve`` flags.
+    admission: AdmissionConfig = AdmissionConfig()
 
 
 class RasedSystem:
@@ -207,6 +214,13 @@ class RasedSystem:
             schema,
             atlas=atlas,
             epoch=self.epoch,
+        )
+        #: Front-door admission controller, built only when any policy
+        #: is enabled; ``DashboardServer`` receives it at serve time.
+        self.admission: AdmissionController | None = (
+            AdmissionController(config.admission, metrics=self.metrics)
+            if config.admission.any_enabled()
+            else None
         )
         self.dashboard = Dashboard(
             executor=self.executor,

@@ -210,6 +210,13 @@ class DataCube:
         filters = filters or {}
         for name in filters:
             self.schema.axis(name)  # validate names eagerly
+        # Dedupe filter values up front (order-preserving): np.take
+        # with a repeated code selects the same slice twice, so e.g.
+        # countries=["DE", "DE"] would double-count DE.
+        deduped: dict[str, list[str] | None] = {
+            name: None if allowed is None else list(dict.fromkeys(allowed))
+            for name, allowed in filters.items()
+        }
         order = list(self.schema.AXES)
         for name in group_by:
             if name not in order:
@@ -223,7 +230,7 @@ class DataCube:
         # a time (np.ix_ would also work but this keeps slices cheap
         # when a filter is absent).
         for axis_pos, name in enumerate(order):
-            allowed = filters.get(name)
+            allowed = deduped.get(name)
             if allowed is None:
                 continue
             codes = self.schema.dimension(name).codes(allowed)
@@ -231,7 +238,7 @@ class DataCube:
         # Track the value labels remaining along each axis.
         labels: list[list[str]] = []
         for name in order:
-            allowed = filters.get(name)
+            allowed = deduped.get(name)
             dim = self.schema.dimension(name)
             labels.append(list(allowed) if allowed is not None else list(dim.values))
         # Sum out axes not grouped, back to front to keep positions stable.

@@ -1,0 +1,21 @@
+"""Fixture: metric-name hygiene for the admission family of metrics.
+
+The real admission layer writes ``rased_admission_*`` series from the
+``dashboard`` package (not an obs package), so the rule must cover it:
+literals passed to registry writers or minted via ``metric_key()``
+inside functions are violations; module-scope constants are fine.
+"""
+
+_M_SHED_OK = metric_key("rased_admission_shed_total")  # noqa: F821  module scope: fine
+
+
+def shed(registry) -> None:
+    registry.inc("rased_admission_requests_total", decision="shed")
+
+
+def deadline_key() -> object:
+    return metric_key("rased_admission_deadline_hits_total")  # noqa: F821
+
+
+def shed_prepared(registry) -> None:
+    registry.inc_key(_M_SHED_OK)

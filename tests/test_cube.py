@@ -211,6 +211,28 @@ class TestAggregation:
         assert ("united_states",) in result
         assert all(value > 0 for value in result.values())
 
+    def test_duplicate_filter_values_count_once(self, loaded):
+        # Regression: np.take with a repeated code selected the same
+        # slice twice, so ["germany", "germany"] double-counted germany.
+        once = loaded.aggregate({"country": ["germany"]})
+        twice = loaded.aggregate({"country": ["germany", "germany"]})
+        assert twice == once
+
+    def test_duplicate_filter_values_grouped(self, loaded):
+        result = loaded.aggregate(
+            {"country": ["germany", "qatar", "germany"]},
+            group_by=("country",),
+        )
+        assert result == {("germany",): 3, ("qatar",): 1}
+
+    def test_duplicate_filter_labels_deduped_in_array(self, loaded):
+        array, labels = loaded.aggregate_array(
+            {"country": ["germany", "germany", "qatar"]},
+            group_by=("country",),
+        )
+        assert labels[0] == ["germany", "qatar"]
+        assert array.shape == (2,)
+
     def test_unknown_filter_axis_raises(self, loaded):
         with pytest.raises(DimensionError):
             loaded.aggregate({"color": ["red"]})

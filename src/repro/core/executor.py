@@ -49,6 +49,8 @@ from repro.errors import (
     QueryError,
 )
 from repro.obs import MetricsRegistry, QueryTrace, get_registry, metric_key
+from repro.obs.span import Span, Tracer
+from repro.obs.span import span as causal_span
 
 __all__ = ["QueryExecutor"]
 
@@ -81,6 +83,7 @@ class QueryExecutor:
         metrics: MetricsRegistry | None = None,
         iosched: IOScheduler | None = None,
         result_cache: ResultCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.index = index
         self.cache = cache
@@ -94,10 +97,46 @@ class QueryExecutor:
         #: When set, whole results are memoized keyed by the (frozen)
         #: query and invalidated by the index epoch.
         self.result_cache = result_cache
+        #: When set, every execution opens a causal span tree handed to
+        #: the tracer's flight recorder.  Without one, executions still
+        #: join an *ambient* trace (the HTTP server's) as a child span,
+        #: and run span-free when there is neither.
+        self.tracer = tracer
 
     # -- public API -----------------------------------------------------
 
     def execute(self, query: AnalysisQuery) -> QueryResult:
+        """Run one analysis query (traced when a tracer is wired)."""
+        tracer = self.tracer
+        context = (
+            tracer.trace("query.execute")
+            if tracer is not None
+            else causal_span("query.execute")
+        )
+        with context as qspan:
+            result = self._execute(query)
+            if qspan is not None:
+                self._annotate_span(qspan, result.stats)
+            return result
+
+    def _annotate_span(self, qspan: Span, stats: QueryStats) -> None:
+        """Mirror the finished phase totals and outcome onto the span."""
+        if stats.trace is not None:
+            stats.trace.flush_spans()
+        attributes = qspan.attributes
+        attributes["cubes"] = stats.cube_count
+        attributes["cache_hits"] = stats.cache_hits
+        attributes["disk_reads"] = stats.disk_reads
+        if stats.coalesced_reads:
+            attributes["coalesced_reads"] = stats.coalesced_reads
+        if stats.trace is not None and "result_cache" in stats.trace.meta:
+            attributes["result_cache"] = stats.trace.meta["result_cache"]
+        if stats.partial:
+            attributes["partial"] = True
+            attributes["quarantined_cubes"] = stats.quarantined_cubes
+            qspan.mark_partial()
+
+    def _execute(self, query: AnalysisQuery) -> QueryResult:
         started = time.perf_counter()
         epoch = 0
         if self.result_cache is not None:

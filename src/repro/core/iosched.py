@@ -28,6 +28,8 @@ from typing import Callable, Hashable, Iterable, TypeVar
 
 from repro.errors import ConfigError
 from repro.obs import MetricsRegistry, get_registry, metric_key
+from repro.obs.span import Span, current_span, reset_ambient, set_ambient
+from repro.obs.span import span as causal_span
 
 __all__ = ["IOScheduler", "FetchBatch", "DEFAULT_IO_WORKERS"]
 
@@ -80,8 +82,11 @@ class IOScheduler:
             max_workers=max_workers, thread_name_prefix="rased-io"
         )
         self._lock = threading.Lock()
-        #: In-flight loads by key; the entry's creator is the leader.
-        self._inflight: dict[Hashable, Future] = {}  # guarded-by: _lock
+        #: In-flight loads by key: ``(future, leader_trace_id)``.  The
+        #: entry's creator is the leader; the trace id (when the leader
+        #: was traced) lets a coalesced follower's span point at the
+        #: trace actually performing its load.
+        self._inflight: dict[Hashable, tuple[Future, str | None]] = {}  # guarded-by: _lock
 
     # -- single-flight core -------------------------------------------------
 
@@ -92,30 +97,94 @@ class IOScheduler:
         performed the load itself (exactly one caller per concurrent
         group does).  A leader's exception propagates to every caller.
         """
+        return self._fetch(key, load, current_span())
+
+    def _fetch(
+        self, key: K, load: Callable[[K], V], parent: Span | None
+    ) -> tuple[V, bool]:
+        """Single-flight core, with the causal parent passed explicitly.
+
+        Span bookkeeping here is hand-rolled rather than ``with
+        span(...)`` blocks: a batch of pool workers runs this
+        near-simultaneously, every microsecond of setup serializes on
+        the GIL before the modeled read's sleep starts, and every
+        microsecond of teardown lands exactly when the submitting
+        query wants to resume — so the spans are created directly, and
+        attributes/finish happen *after* the future resolves.
+        """
+        leader_trace: str | None = None
+        future: Future
         with self._lock:
-            future = self._inflight.get(key)
-            leader = future is None
-            if leader:
+            entry = self._inflight.get(key)
+            if entry is None:
+                leader = True
                 future = Future()
-                self._inflight[key] = future
+                self._inflight[key] = (
+                    future,
+                    parent.trace.trace_id if parent is not None else None,
+                )
+            else:
+                leader = False
+                future, leader_trace = entry
             depth = len(self._inflight)
         metrics = self.metrics
         metrics.inc_key(_K_FETCHES)
         metrics.peak_key(_K_INFLIGHT_PEAK, depth)
         if not leader:
             metrics.inc_key(_K_COALESCED)
-            return future.result(), False
+            # The follower's own trace shows a *wait*, not a load — the
+            # read happens once, in the leader's trace, and the cross
+            # reference is how a "why was this query slow" investigation
+            # finds the query that actually paid for the page.
+            wait_span = (
+                parent.trace.new_span("iosched.wait", parent.span_id)
+                if parent is not None
+                else None
+            )
+            try:
+                value = future.result()
+            except BaseException as exc:
+                if wait_span is not None:
+                    wait_span.set_error(exc)
+                raise
+            finally:
+                if wait_span is not None:
+                    # Raw key object: stringified only if the trace is
+                    # ever rendered (json default=str), not per fetch.
+                    wait_span.attributes["key"] = key
+                    wait_span.attributes["coalesced"] = True
+                    if (
+                        leader_trace is not None
+                        and leader_trace != wait_span.trace.trace_id
+                    ):
+                        wait_span.attributes["leader_trace_id"] = leader_trace
+                    wait_span.finish()
+            return value, False
+        load_span = token = None
+        if parent is not None:
+            load_span = parent.trace.new_span("iosched.load", parent.span_id)
+            # Ambient for the duration of the load, so the storage
+            # layer's disk span nests under this one.
+            token = set_ambient(load_span)
         try:
             value = load(key)
-        except BaseException as exc:
-            future.set_exception(exc)
-            raise
-        else:
+            # Resolve the future before the span bookkeeping below:
+            # followers and the submitting batch wake immediately.
             future.set_result(value)
-            return value, True
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            if load_span is not None:
+                load_span.set_error(exc)
+            raise
         finally:
+            if load_span is not None:
+                reset_ambient(token)
+                load_span.attributes["key"] = key
+                load_span.finish()
             with self._lock:
                 self._inflight.pop(key, None)
+        return value, True
 
     def fetch_many(
         self, keys: Iterable[K], load: Callable[[K], V]
@@ -131,20 +200,30 @@ class IOScheduler:
         if not unique:
             return batch
         started = time.perf_counter()
-        if len(unique) == 1:
-            outcomes = [(unique[0], self.fetch(unique[0], load))]
-        else:
-            submitted = [
-                (key, self._pool.submit(self.fetch, key, load))
-                for key in unique
-            ]
-            outcomes = [(key, future.result()) for key, future in submitted]
-        for key, (value, led) in outcomes:
-            batch.values[key] = value
-            if led:
-                batch.led += 1
+        with causal_span("iosched.batch") as batch_span:
+            if len(unique) == 1:
+                outcomes = [(unique[0], self.fetch(unique[0], load))]
             else:
-                batch.coalesced += 1
+                # ContextVars do NOT cross pool submissions: capture the
+                # submitter's ambient span here and re-attach it inside
+                # each worker, so load/wait spans land in the submitting
+                # query's tree instead of becoming orphans.
+                parent = current_span()
+                submitted = [
+                    (key, self._pool.submit(self._fetch_attached, parent, key, load))
+                    for key in unique
+                ]
+                outcomes = [(key, future.result()) for key, future in submitted]
+            for key, (value, led) in outcomes:
+                batch.values[key] = value
+                if led:
+                    batch.led += 1
+                else:
+                    batch.coalesced += 1
+            if batch_span is not None:
+                batch_span.attributes["keys"] = len(unique)
+                batch_span.attributes["led"] = batch.led
+                batch_span.attributes["coalesced"] = batch.coalesced
         self.metrics.record_batch(
             incs=((_K_BATCHES, 1.0),),
             observes=(
@@ -153,6 +232,13 @@ class IOScheduler:
             ),
         )
         return batch
+
+    def _fetch_attached(
+        self, parent: Span | None, key: K, load: Callable[[K], V]
+    ) -> tuple[V, bool]:
+        """Pool entry point: the submitter's span crosses the pool
+        boundary as an explicit argument (ContextVars do not)."""
+        return self._fetch(key, load, parent)
 
     # -- introspection / lifecycle ------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.collection.daily import DailyCrawler, DailyCrawlResult
 from repro.collection.geocode import Geocoder
 from repro.core.query import AnalysisQuery, QueryResult
 from repro.geo.zones import ZoneAtlas
+from repro.obs.span import span as causal_span
 from repro.osm.changesets import ChangesetStore
 from repro.osm.replication import ReplicationFeed
 from repro.osm.xml_io import OsmChange
@@ -85,7 +86,7 @@ class LiveMonitor:
 
     def poll(self) -> int:
         """Crawl newly published hourly diffs; returns hours processed."""
-        with self._poll_lock:
+        with self._poll_lock, causal_span("live.poll") as poll_span:
             processed = 0
             for sequence, timestamp, change in self.hour_feed.iter_since(
                 self._crawler.last_sequence
@@ -96,6 +97,8 @@ class LiveMonitor:
                 self._crawler.last_sequence = sequence
                 processed += 1
             self.hours_processed += processed
+            if poll_span is not None:
+                poll_span.attributes["hours"] = processed
         return processed
 
     def _absorb(self, result: DailyCrawlResult) -> None:

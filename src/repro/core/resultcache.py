@@ -30,6 +30,7 @@ from collections import OrderedDict
 from repro.core.query import AnalysisQuery
 from repro.errors import ConfigError
 from repro.obs import MetricsRegistry, get_registry, metric_key
+from repro.obs.span import current_span, record_span
 
 __all__ = ["EpochCounter", "ResultCache"]
 
@@ -97,6 +98,11 @@ class ResultCache:
         metrics = self.metrics
         if stale:
             metrics.inc_key(_K_INVALIDATIONS)
+        if current_span() is not None:
+            outcome = "hit" if entry is not None else ("stale" if stale else "miss")
+            record_span(
+                "core.resultcache.get", 0.0, attributes={"outcome": outcome}
+            )
         if entry is None:
             metrics.inc_key(_K_MISSES)
             return None

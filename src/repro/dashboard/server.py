@@ -17,7 +17,13 @@ framework, per the offline constraint):
 * ``GET /contributors?n=<k>`` — top contributors from changeset
   metadata;
 * ``GET /metrics`` — the deployment's metrics registry in Prometheus
-  text exposition format (``?format=json`` for the JSON snapshot).
+  text exposition format (``?format=json`` for the JSON snapshot);
+* ``GET /debug/traces`` — the flight recorder's retained span trees
+  (``?limit=``, ``?status=error``); ``GET /debug/traces/<trace_id>``
+  dumps one full tree (the id arrives on every response as an
+  ``X-Trace-Id`` header);
+* ``GET /debug/slo`` — objective windows, burn rates and multi-window
+  alert states (also summarized on ``/health``).
 
 The server is threaded by default (one thread per in-flight request,
 via :class:`http.server.ThreadingHTTPServer`): RASED's pitch is a
@@ -56,6 +62,9 @@ from repro.core.query import AnalysisQuery
 from repro.dashboard.admission import AdmissionController
 from repro.dashboard.api import Dashboard
 from repro.errors import DeadlineExceededError, QueryError, RasedError
+from repro.obs import EventLog, FlightRecorder, QueryTrace, SLOTracker
+from repro.obs.span import Tracer, current_trace_id
+from repro.obs.span import span as causal_span
 
 # Metric names as module constants (labels vary per request, so the
 # keys cannot be fully prepared the way the executor's are).
@@ -89,6 +98,8 @@ _PATH_FAMILIES = (
     "/changeset",
     "/contributors",
     "/metrics",
+    "/debug/traces",
+    "/debug/slo",
     "/analysis/sql",
     "/analysis/live",
     "/analysis",
@@ -210,6 +221,10 @@ class _Handler(BaseHTTPRequestHandler):
     tracker: _RequestTracker  # injected by DashboardServer
     admission: AdmissionController | None = None
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    tracer: Tracer | None = None
+    recorder: FlightRecorder | None = None
+    slo: SLOTracker | None = None
+    events: EventLog | None = None
 
     # Silence per-request logging; tests drive many requests.
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
@@ -221,9 +236,11 @@ class _Handler(BaseHTTPRequestHandler):
         payload: dict,
         extra_headers: Mapping[str, str] | None = None,
     ) -> None:
+        # default=str covers non-JSON leaves in dumped span attributes
+        # (TemporalKey page keys are stored raw on the fetch hot path).
         self._send_bytes(
             status,
-            json.dumps(payload).encode("utf-8"),
+            json.dumps(payload, default=str).encode("utf-8"),
             "application/json",
             extra_headers,
         )
@@ -235,38 +252,105 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str,
         extra_headers: Mapping[str, str] | None = None,
     ) -> None:
+        """Stage the response; :meth:`_flush_response` writes the socket.
+
+        Staging (rather than writing immediately) closes a race: the
+        flight recorder only receives the trace when the root span
+        closes, so writing first would let a fast client ask
+        ``/debug/traces/<id>`` before the id it was just handed is
+        retrievable.  Every response here is a small, fully
+        materialized JSON document, so buffering costs nothing.
+        """
         self._status = status
         self._responded = True
+        headers = dict(extra_headers or {})
+        # Success and error paths alike: the id a client quotes back to
+        # look up its request's span tree at /debug/traces/<id>.
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
+        self._pending = (status, body, content_type, headers)
+
+    def _flush_response(self) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        status, body, content_type, headers = pending
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
+        for name, value in headers.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _timed(self, handler) -> None:
-        """Run one request handler and record HTTP-level metrics."""
+        """Run one request handler and record HTTP-level metrics.
+
+        The whole request runs under a root ``http.request`` span (when
+        a tracer is wired), so admission verdicts, executor phases and
+        pool-thread disk reads all land in one tree; a 5xx answer marks
+        the root errored *before* the trace closes, which is what makes
+        the flight recorder's tail-based retention keep it.
+        """
         started = time.perf_counter()
         self._status = 0
         self._responded = False
+        self._pending: tuple[int, bytes, str, dict] | None = None
+        family = _path_family(urlparse(self.path).path)
         self.tracker.enter()
         try:
-            self._admit_and_run(handler)
+            tracer = self.tracer
+            context = (
+                tracer.trace("http.request")
+                if tracer is not None
+                else causal_span("http.request")
+            )
+            with context as root:
+                if root is not None:
+                    root.attributes["method"] = self.command
+                    root.attributes["path"] = family
+                self._admit_and_run(handler)
+                if root is not None:
+                    root.attributes["status"] = self._status
+                    if self._status >= 500 or self._status == 0:
+                        root.set_error(f"http {self._status}")
+                events = self.events
+                if events is not None and events.enabled:
+                    events.emit(
+                        "http.request",
+                        method=self.command,
+                        path=family,
+                        status=self._status,
+                        ms=round((time.perf_counter() - started) * 1000.0, 3),
+                    )
         finally:
-            self.tracker.exit()
-            metrics = self.dashboard.metrics
-            family = _path_family(urlparse(self.path).path)
-            metrics.inc(
-                _M_HTTP_REQUESTS,
-                path=family,
-                status=str(self._status),
-            )
-            metrics.observe(
-                _M_HTTP_SECONDS,
-                time.perf_counter() - started,
-                path=family,
-            )
+            elapsed = time.perf_counter() - started
+            try:
+                # Counters and SLO accounting move BEFORE the response
+                # is flushed: a client that reads its answer and then
+                # scrapes /metrics must see its own request counted.
+                if self.slo is not None:
+                    # "ok" = answered without a server-side failure; an
+                    # unanswered request (status 0) is an availability
+                    # miss.
+                    self.slo.record(0 < self._status < 500, elapsed)
+                metrics = self.dashboard.metrics
+                metrics.inc(
+                    _M_HTTP_REQUESTS,
+                    path=family,
+                    status=str(self._status),
+                )
+                metrics.observe(_M_HTTP_SECONDS, elapsed, path=family)
+            finally:
+                try:
+                    # After the trace closed (and recorded), so the id
+                    # in the X-Trace-Id header is retrievable the
+                    # moment the client can read it.
+                    self._flush_response()
+                finally:
+                    self.tracker.exit()
 
     def _admit_and_run(self, handler) -> None:
         """Apply front-door policy (when configured), then the handler."""
@@ -274,10 +358,19 @@ class _Handler(BaseHTTPRequestHandler):
         if admission is None:
             self._run_guarded(handler)
             return
-        decision = admission.admit(
-            self.headers.get("X-API-Key"),
-            self.headers.get("X-Deadline-Ms"),
-        )
+        # The verdict is recorded server-side (admission itself stays
+        # transport-agnostic): one span per request saying whether the
+        # front door let it in, and why not.
+        with causal_span("dashboard.admission") as admit_span:
+            decision = admission.admit(
+                self.headers.get("X-API-Key"),
+                self.headers.get("X-Deadline-Ms"),
+            )
+            if admit_span is not None:
+                admit_span.attributes["allowed"] = decision.allowed
+                if not decision.allowed:
+                    admit_span.attributes["status"] = decision.status
+                    admit_span.attributes["reason"] = decision.error
         if not decision.allowed:
             extra = (
                 # Whole seconds, rounded up: "Retry-After: 0" invites an
@@ -321,20 +414,23 @@ class _Handler(BaseHTTPRequestHandler):
             index = self.dashboard.executor.index
             coverage = index.coverage()
             quarantined = index.quarantined_count()
-            self._send(
-                200,
-                {
-                    # "degraded" = still serving, but some cubes are
-                    # quarantined and answers touching them carry
-                    # partial=true.
-                    "status": "degraded" if quarantined else "ok",
-                    "coverage": [d.isoformat() for d in coverage]
-                    if coverage
-                    else None,
-                    "pages": index.total_pages(),
-                    "quarantined_cubes": quarantined,
-                },
-            )
+            payload: dict = {
+                # "degraded" = still serving, but some cubes are
+                # quarantined and answers touching them carry
+                # partial=true.
+                "status": "degraded" if quarantined else "ok",
+                "coverage": [d.isoformat() for d in coverage]
+                if coverage
+                else None,
+                "pages": index.total_pages(),
+                "quarantined_cubes": quarantined,
+            }
+            if self.slo is not None:
+                firing = [a.to_dict() for a in self.slo.alerts() if a.firing]
+                payload["slo"] = {"burning": bool(firing), "firing": firing}
+                if firing and payload["status"] == "ok":
+                    payload["status"] = "degraded"
+            self._send(200, payload)
         elif parsed.path == "/zones":
             self._send(
                 200, {"zones": self.dashboard.atlas.zone_names()}
@@ -367,6 +463,52 @@ class _Handler(BaseHTTPRequestHandler):
                 raise QueryError(
                     "metrics format must be 'prometheus' or 'json'"
                 )
+        elif parsed.path == "/debug/slo":
+            if self.slo is None:
+                self._send(404, {"error": "SLO tracking is not enabled"})
+                return
+            self._send(200, self.slo.snapshot())
+        elif parsed.path == "/debug/traces":
+            recorder = self.recorder
+            if recorder is None:
+                self._send(404, {"error": "tracing is not enabled"})
+                return
+            params = parse_qs(parsed.query)
+            raw_limit = params.get("limit", ["50"])[0]
+            try:
+                limit = max(0, int(raw_limit))
+            except ValueError:
+                raise QueryError(
+                    f"limit must be an integer, got {raw_limit!r}"
+                ) from None
+            status = params.get("status", [None])[0]
+            self._send(
+                200,
+                {
+                    "stats": recorder.stats(),
+                    "traces": [
+                        t.to_summary()
+                        for t in recorder.list(limit=limit, status=status)
+                    ],
+                },
+            )
+        elif parsed.path.startswith("/debug/traces/"):
+            recorder = self.recorder
+            if recorder is None:
+                self._send(404, {"error": "tracing is not enabled"})
+                return
+            trace_id = parsed.path.rsplit("/", 1)[1]
+            recorded = recorder.get(trace_id)
+            if recorded is None:
+                self._send(404, {"error": f"no retained trace {trace_id!r}"})
+                return
+            payload = recorded.to_dict()
+            # The classic flat phase view, reconstructed from the tree —
+            # the two representations stay mutually derivable.
+            payload["phases"] = QueryTrace.from_spans(
+                recorded.spans, name=recorded.name
+            ).to_dict()
+            self._send(200, payload)
         elif parsed.path == "/contributors":
             params = parse_qs(parsed.query)
             n = _clamped_count(params, default=10)
@@ -483,10 +625,16 @@ class DashboardServer:
         admission: AdmissionController | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         drain_timeout: float = 5.0,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
+        slo: SLOTracker | None = None,
+        events: EventLog | None = None,
     ):
         self._tracker = _RequestTracker()
         self._admission = admission
         self._drain_timeout = drain_timeout
+        self._recorder = recorder
+        self._slo = slo
         handler = type(
             "BoundHandler",
             (_Handler,),
@@ -495,6 +643,10 @@ class DashboardServer:
                 "tracker": self._tracker,
                 "admission": admission,
                 "max_body_bytes": max_body_bytes,
+                "tracer": tracer,
+                "recorder": recorder,
+                "slo": slo,
+                "events": events,
             },
         )
         server_cls = _ThreadedServer if threaded else _SerialServer
@@ -513,6 +665,14 @@ class DashboardServer:
     @property
     def admission(self) -> AdmissionController | None:
         return self._admission
+
+    @property
+    def recorder(self) -> FlightRecorder | None:
+        return self._recorder
+
+    @property
+    def slo(self) -> SLOTracker | None:
+        return self._slo
 
     def start(self) -> None:
         self._thread = threading.Thread(

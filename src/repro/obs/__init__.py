@@ -1,20 +1,36 @@
-"""Observability: metrics, histograms, and per-query traces.
+"""Observability: metrics, causal traces, flight recorder, SLOs, logs.
 
-The subsystem has two halves:
+The subsystem's layers, bottom to top:
 
 * :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of counters
   and histograms that every layer (executor, cache, optimizer, disks,
   warehouse, ingestion pipeline, HTTP server) reports into, with JSON
   and Prometheus text export;
+* :mod:`repro.obs.span` — causal span trees: a ``trace_id``/``span_id``/
+  parent identity per operation, carried in a ``ContextVar`` and
+  explicitly handed across thread-pool boundaries (:func:`attach`), so
+  a request's admission verdict, plan, pool-thread disk reads, and
+  aggregation land in one connected tree;
 * :mod:`repro.obs.trace` — the :class:`QueryTrace` phase breakdown
-  attached to each :class:`repro.core.query.QueryResult`.
+  attached to each :class:`repro.core.query.QueryResult`, now also the
+  flat *view* over the span tree (``flush_spans``/``from_spans``);
+* :mod:`repro.obs.recorder` — the :class:`FlightRecorder`, a bounded
+  ring of completed traces with tail-based retention (errors, partial
+  answers, deadline expiries and the slowest decile always kept);
+* :mod:`repro.obs.slo` — availability/latency objectives over sliding
+  windows with multi-window burn-rate alerts (``/health``,
+  ``/debug/slo``);
+* :mod:`repro.obs.log` — opt-in structured JSON event lines correlated
+  to traces by ``trace_id``.
 
-A :class:`repro.system.RasedSystem` owns a private registry
-(``system.metrics``); standalone components default to the process-wide
-registry from :func:`get_registry`.  See README.md § Observability for
-the metric name inventory.
+A :class:`repro.system.RasedSystem` owns a private registry, tracer,
+recorder and SLO tracker; standalone components default to the
+process-wide registry from :func:`get_registry`.  See README.md
+§ Observability for the metric name inventory and the ``/debug/*``
+endpoints.
 """
 
+from repro.obs.log import EventLog
 from repro.obs.metrics import (
     DEFAULT_HISTOGRAM_WINDOW,
     MetricsRegistry,
@@ -22,14 +38,49 @@ from repro.obs.metrics import (
     metric_key,
     set_registry,
 )
+from repro.obs.recorder import (
+    DEFAULT_RECORDER_CAPACITY,
+    DEFAULT_SAMPLE_EVERY,
+    FlightRecorder,
+)
+from repro.obs.slo import BurnAlert, SLOConfig, SLOTracker
+from repro.obs.span import (
+    MAX_SPANS_PER_TRACE,
+    ActiveTrace,
+    RecordedTrace,
+    Span,
+    Tracer,
+    attach,
+    current_span,
+    current_trace_id,
+    record_span,
+    span,
+)
 from repro.obs.trace import PhaseTiming, QueryTrace
 
 __all__ = [
+    "ActiveTrace",
+    "BurnAlert",
     "DEFAULT_HISTOGRAM_WINDOW",
+    "DEFAULT_RECORDER_CAPACITY",
+    "DEFAULT_SAMPLE_EVERY",
+    "EventLog",
+    "FlightRecorder",
+    "MAX_SPANS_PER_TRACE",
     "MetricsRegistry",
     "PhaseTiming",
     "QueryTrace",
+    "RecordedTrace",
+    "SLOConfig",
+    "SLOTracker",
+    "Span",
+    "Tracer",
+    "attach",
+    "current_span",
+    "current_trace_id",
     "get_registry",
     "metric_key",
+    "record_span",
     "set_registry",
+    "span",
 ]

@@ -1,0 +1,85 @@
+"""Structured JSON event logging, correlated to traces by trace_id.
+
+One event per line, one JSON object per event — greppable, ingestible
+by anything, and joined to the flight recorder through the ``trace_id``
+field every event inherits from the ambient span automatically::
+
+    {"ts": 1754640000.123456, "event": "http.request", "trace_id":
+     "e1a6...", "span_id": "0001", "path": "/analysis", "status": 200,
+     "ms": 12.8}
+
+The log is **opt-in**: a default-constructed :class:`EventLog` has no
+stream and :meth:`emit` returns after one attribute check, so the
+instrumentation can stay wired unconditionally (the same kill-switch
+shape as :attr:`repro.obs.metrics.MetricsRegistry.enabled`).  Writes
+are serialized by a lock; values that are not JSON types are rendered
+with ``str()`` rather than raising from a logging call.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, TextIO
+
+from repro.obs.span import current_span
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """A line-oriented JSON event sink (disabled when ``stream`` is None)."""
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    @classmethod
+    def open(cls, path: str) -> "EventLog":
+        """An EventLog appending to ``path`` (``-`` means stderr)."""
+        if path == "-":
+            return cls(stream=sys.stderr)
+        return cls(stream=open(path, "a", encoding="utf-8"))
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Write one event line (no-op without a stream).
+
+        ``ts`` and, when an ambient trace exists, ``trace_id``/
+        ``span_id`` are attached automatically; explicit ``fields``
+        win on collision.
+        """
+        stream = self._stream
+        if stream is None:
+            return
+        record: dict[str, object] = {
+            "ts": round(self._clock(), 6),
+            "event": event,
+        }
+        ambient = current_span()
+        if ambient is not None:
+            record["trace_id"] = ambient.trace.trace_id
+            record["span_id"] = ambient.span_id
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            stream.write(line + "\n")
+            stream.flush()
+            self.emitted += 1
+
+    def close(self) -> None:
+        stream = self._stream
+        self._stream = None
+        if stream is not None and stream not in (sys.stderr, sys.stdout):
+            stream.close()

@@ -56,26 +56,31 @@ def metric_key(name: str, **labels: str) -> MetricKey:
     return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
 
 
-class _Histogram:
-    """Running summary plus a bounded window of raw observations."""
+class _HistogramState:
+    """A frozen copy of one histogram, summarizable outside any lock.
+
+    Scrapes used to sort every histogram's whole window *while holding
+    the registry lock*, stalling every hot-path ``observe`` behind an
+    O(series × window log window) render.  Now the lock section only
+    copies (five scalars plus one ``list(deque)``), and sorting /
+    quantile math happens on this frozen state after release.
+    """
 
     __slots__ = ("count", "sum", "min", "max", "window")
 
-    def __init__(self, window: int) -> None:
-        self.count = 0
-        self.sum = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self.window: deque[float] = deque(maxlen=window)
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self.window.append(value)
+    def __init__(
+        self,
+        count: int,
+        sum_: float,
+        min_: float,
+        max_: float,
+        window: list[float],
+    ) -> None:
+        self.count = count
+        self.sum = sum_
+        self.min = min_
+        self.max = max_
+        self.window = window
 
     def quantiles(self, qs: Iterable[float]) -> dict[float, float]:
         """Linear-interpolation quantiles over the retained window."""
@@ -105,7 +110,45 @@ class _Histogram:
             "p50": qs.get(0.5, 0.0),
             "p95": qs.get(0.95, 0.0),
             "p99": qs.get(0.99, 0.0),
+            # count/sum/min/max are lifetime totals but the quantiles
+            # only see the bounded window; exporting its size lets a
+            # consumer judge the horizon the percentiles describe.
+            "window_count": len(self.window),
         }
+
+
+class _Histogram:
+    """Running summary plus a bounded window of raw observations."""
+
+    __slots__ = ("count", "sum", "min", "max", "window")
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.window.append(value)
+
+    def freeze(self) -> _HistogramState:
+        """Copy the mutable state (call with the registry lock held)."""
+        return _HistogramState(
+            self.count, self.sum, self.min, self.max, list(self.window)
+        )
+
+    def quantiles(self, qs: Iterable[float]) -> dict[float, float]:
+        return self.freeze().quantiles(qs)
+
+    def summary(self) -> dict[str, float]:
+        return self.freeze().summary()
 
 
 def _escape_label_value(value: str) -> str:
@@ -123,12 +166,13 @@ def _render_labels(labels: tuple, extra: tuple = ()) -> str:
 class MetricsRegistry:
     """Thread-safe counters + histograms with JSON/Prometheus export."""
 
-    __slots__ = ("_lock", "_counters", "_histograms", "_window", "enabled")
+    __slots__ = ("_lock", "_counters", "_histograms", "_help", "_window", "enabled")
 
     def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW) -> None:
         self._lock = threading.Lock()
         self._counters: dict[MetricKey, float] = {}  # guarded-by: _lock
         self._histograms: dict[MetricKey, _Histogram] = {}  # guarded-by: _lock
+        self._help: dict[str, str] = {}  # guarded-by: _lock
         self._window = histogram_window
         #: Kill switch: a disabled registry turns every write into a
         #: single attribute check (the instrumentation stays wired).
@@ -214,7 +258,17 @@ class MetricsRegistry:
     def histogram_summary(self, name: str, **labels: str) -> dict[str, float] | None:
         with self._lock:
             histogram = self._histograms.get(metric_key(name, **labels))
-            return histogram.summary() if histogram is not None else None
+            state = histogram.freeze() if histogram is not None else None
+        return state.summary() if state is not None else None
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric family (optional).
+
+        Families without an explicit description render a generated
+        one, so the Prometheus output always carries HELP metadata.
+        """
+        with self._lock:
+            self._help[name] = help_text
 
     def counter_names(self) -> list[str]:
         with self._lock:
@@ -227,22 +281,51 @@ class MetricsRegistry:
 
     # -- export -------------------------------------------------------------
 
+    def _freeze(
+        self,
+    ) -> tuple[
+        list[tuple[MetricKey, float]],
+        list[tuple[MetricKey, _HistogramState]],
+        dict[str, str],
+    ]:
+        """Copy all series under the lock; callers render outside it.
+
+        A scrape used to sort every histogram window while holding the
+        registry lock, blocking every concurrent ``observe`` for the
+        whole render.  The lock section is now pure copying.
+        """
+        with self._lock:
+            counter_items = list(self._counters.items())
+            histogram_items = [
+                (key, histogram.freeze())
+                for key, histogram in self._histograms.items()
+            ]
+            help_texts = dict(self._help)
+        return counter_items, histogram_items, help_texts
+
     def snapshot(self) -> dict:
         """JSON-ready view: every series with its labels and value."""
-        with self._lock:
-            counters: dict[str, list[dict]] = {}
-            for (name, labels), value in sorted(self._counters.items()):
-                counters.setdefault(name, []).append(
-                    {"labels": dict(labels), "value": value}
-                )
-            histograms: dict[str, list[dict]] = {}
-            for (name, labels), histogram in sorted(
-                self._histograms.items(), key=lambda item: item[0]
-            ):
-                entry = {"labels": dict(labels)}
-                entry.update(histogram.summary())
-                histograms.setdefault(name, []).append(entry)
+        counter_items, histogram_items, _ = self._freeze()
+        counters: dict[str, list[dict]] = {}
+        for (name, labels), value in sorted(counter_items):
+            counters.setdefault(name, []).append(
+                {"labels": dict(labels), "value": value}
+            )
+        histograms: dict[str, list[dict]] = {}
+        for (name, labels), state in sorted(
+            histogram_items, key=lambda item: item[0]
+        ):
+            entry = {"labels": dict(labels)}
+            entry.update(state.summary())
+            histograms.setdefault(name, []).append(entry)
         return {"counters": counters, "histograms": histograms}
+
+    def _help_line(self, name: str, kind: str, help_texts: dict[str, str]) -> str:
+        text = help_texts.get(name)
+        if text is None:
+            text = f"RASED {kind} {name} (repro.obs.metrics registry)."
+        escaped = text.replace("\\", r"\\").replace("\n", r"\n")
+        return f"# HELP {name} {escaped}"
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4).
@@ -250,24 +333,36 @@ class MetricsRegistry:
         Counters render as ``counter`` series; histograms render as
         ``summary`` series (quantile labels plus ``_sum``/``_count``),
         which matches what the bounded-window quantiles actually are.
+        Every family gets ``# HELP`` and ``# TYPE`` metadata so real
+        scrapers ingest the exposition without warnings; each summary
+        additionally exports a ``<name>_window_count`` gauge — the
+        number of observations its quantiles currently cover.
         """
-        with self._lock:
-            counter_items = sorted(self._counters.items())
-            histogram_items = sorted(
-                ((key, h.summary()) for key, h in self._histograms.items()),
-                key=lambda item: item[0],
-            )
+        counter_items, histogram_items, help_texts = self._freeze()
+        counter_items.sort()
+        histogram_items.sort(key=lambda item: item[0])
         lines: list[str] = []
         seen_counter_names: set[str] = set()
         for (name, labels), value in counter_items:
             if name not in seen_counter_names:
+                lines.append(self._help_line(name, "counter", help_texts))
                 lines.append(f"# TYPE {name} counter")
                 seen_counter_names.add(name)
             lines.append(f"{name}{_render_labels(labels)} {_format_number(value)}")
         seen_summary_names: set[str] = set()
-        for (name, labels), summary in histogram_items:
+        window_lines: list[str] = []
+        for (name, labels), state in histogram_items:
+            summary = state.summary()
             if name not in seen_summary_names:
+                lines.append(self._help_line(name, "summary", help_texts))
                 lines.append(f"# TYPE {name} summary")
+                window_name = f"{name}_window_count"
+                window_lines.append(
+                    self._help_line(
+                        window_name, "quantile-horizon gauge for", help_texts
+                    )
+                )
+                window_lines.append(f"# TYPE {window_name} gauge")
                 seen_summary_names.add(name)
             for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
                 rendered = _render_labels(labels, (("quantile", q_label),))
@@ -275,6 +370,14 @@ class MetricsRegistry:
             rendered = _render_labels(labels)
             lines.append(f"{name}_sum{rendered} {_format_number(summary['sum'])}")
             lines.append(f"{name}_count{rendered} {_format_number(summary['count'])}")
+            window_lines.append(
+                f"{name}_window_count{rendered} "
+                f"{_format_number(summary['window_count'])}"
+            )
+        # window_count gauges render after their parent summaries: the
+        # text format requires one contiguous block per family, and a
+        # gauge line inside the summary block would split the family.
+        lines.extend(window_lines)
         return "\n".join(lines) + ("\n" if lines else "")
 
 

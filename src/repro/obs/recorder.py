@@ -1,0 +1,169 @@
+"""Always-on flight recorder: the last N interesting traces, in memory.
+
+Aggregate metrics say *that* p99 regressed; a flight recorder says
+*why*, by keeping whole span trees around for the requests worth
+looking at.  Retention is **tail-based** — the keep/drop decision is
+made when the trace completes, once its outcome is known:
+
+* traces that ended ``error`` or ``partial`` (which includes deadline
+  expiries and quarantine-degraded answers) are **always** kept;
+* traces in the **slowest decile** of the recent duration window are
+  always kept — the tail is precisely what aggregate histograms cannot
+  explain;
+* everything else is deterministically sampled (every ``sample_every``-th
+  ok trace), so the recorder also holds a picture of *normal* for
+  comparison.
+
+Both retention classes are bounded FIFO rings, so a long-lived
+dashboard holds at most ``2 * capacity`` traces no matter the traffic.
+Sampling is counter-based (no RNG): replaying a workload replays the
+recorder's contents.
+
+Dump surface: ``GET /debug/traces`` (listing), ``GET
+/debug/traces/<trace_id>`` (one tree; the id arrives in every response's
+``X-Trace-Id`` header), and ``rased-repro traces`` against a running
+server.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from repro.obs.metrics import MetricsRegistry, get_registry, metric_key
+from repro.obs.span import RecordedTrace, STATUS_OK
+
+__all__ = [
+    "FlightRecorder",
+    "DEFAULT_RECORDER_CAPACITY",
+    "DEFAULT_SAMPLE_EVERY",
+]
+
+#: Traces kept per retention class (retained + sampled rings).
+DEFAULT_RECORDER_CAPACITY = 256
+
+#: Keep every Nth ok-and-fast trace as a baseline sample.
+DEFAULT_SAMPLE_EVERY = 8
+
+#: Recent trace durations considered when computing the slow-decile
+#: threshold, and the minimum population before "slow" kicks in (a
+#: cold recorder would otherwise flag the first queries it ever saw).
+_SLOW_WINDOW = 256
+_SLOW_MIN_POPULATION = 20
+
+#: The slow threshold is re-derived from the duration window every
+#: this many completions — sorting 256 floats per trace would be the
+#: recorder's own hot-path sin.
+_SLOW_REFRESH_EVERY = 32
+
+_K_DROPPED = metric_key("rased_trace_dropped_total")
+_KEPT_KEYS = {
+    reason: metric_key("rased_trace_kept_total", reason=reason)
+    for reason in ("error", "partial", "slow", "sampled")
+}
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring of completed traces with tail retention."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RECORDER_CAPACITY,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.capacity = max(1, capacity)
+        self.sample_every = max(0, sample_every)
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._lock = threading.Lock()
+        #: Always-kept traces (error / partial / slow decile).
+        self._retained: OrderedDict[str, RecordedTrace] = OrderedDict()  # guarded-by: _lock
+        #: Every-Nth baseline samples of ok traces.
+        self._sampled: OrderedDict[str, RecordedTrace] = OrderedDict()  # guarded-by: _lock
+        self._durations: deque[float] = deque(maxlen=_SLOW_WINDOW)  # guarded-by: _lock
+        self._seen = 0  # guarded-by: _lock
+        self._ok_counter = 0  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
+        self._slow_threshold = float("inf")  # guarded-by: _lock
+
+    # -- write side ---------------------------------------------------------
+
+    def record(self, trace: RecordedTrace) -> None:
+        """Classify one completed trace and keep or drop it."""
+        reason: str | None
+        with self._lock:
+            self._seen += 1
+            slow_ready = len(self._durations) >= _SLOW_MIN_POPULATION
+            self._durations.append(trace.duration_seconds)
+            if self._seen % _SLOW_REFRESH_EVERY == 1:
+                ordered = sorted(self._durations)
+                self._slow_threshold = ordered[int(0.9 * (len(ordered) - 1))]
+            if trace.status != STATUS_OK:
+                reason = trace.status  # "error" or "partial"
+                ring = self._retained
+            elif slow_ready and trace.duration_seconds >= self._slow_threshold:
+                reason = "slow"
+                ring = self._retained
+            elif self.sample_every and self._ok_counter % self.sample_every == 0:
+                self._ok_counter += 1
+                reason = "sampled"
+                ring = self._sampled
+            else:
+                self._ok_counter += 1
+                self._dropped += 1
+                reason = None
+            if reason is not None:
+                ring[trace.trace_id] = trace
+                while len(ring) > self.capacity:
+                    ring.popitem(last=False)
+        # Registry increments happen outside the ring lock: the
+        # registry has its own, and nesting them would serialize
+        # recording against every scrape.
+        self.metrics.inc_key(
+            _K_DROPPED if reason is None else _KEPT_KEYS[reason]
+        )
+
+    # -- read side ----------------------------------------------------------
+
+    def get(self, trace_id: str) -> RecordedTrace | None:
+        with self._lock:
+            found = self._retained.get(trace_id)
+            if found is None:
+                found = self._sampled.get(trace_id)
+            return found
+
+    def list(
+        self, limit: int = 50, status: str | None = None
+    ) -> list[RecordedTrace]:
+        """Newest-first traces across both rings (optionally by status)."""
+        with self._lock:
+            traces = list(self._retained.values()) + list(self._sampled.values())
+        if status is not None:
+            traces = [t for t in traces if t.status == status]
+        traces.sort(key=lambda t: t.started_unix, reverse=True)
+        return traces[: max(0, limit)]
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            threshold = self._slow_threshold
+            return {
+                "seen": self._seen,
+                "retained": len(self._retained),
+                "sampled": len(self._sampled),
+                "dropped": self._dropped,
+                "capacity": self.capacity,
+                "sample_every": self.sample_every,
+                "slow_threshold_ms": (
+                    threshold * 1000.0 if threshold != float("inf") else None
+                ),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._retained.clear()
+            self._sampled.clear()
+            self._durations.clear()
+            self._seen = 0
+            self._ok_counter = 0
+            self._dropped = 0
+            self._slow_threshold = float("inf")

@@ -1,0 +1,267 @@
+"""Service-level objectives and multi-window burn-rate alerts.
+
+RASED is pitched as an always-live dashboard; "is it meeting its
+promise right now" needs more than raw counters.  This module tracks
+two objectives over the HTTP request stream:
+
+* **availability** — fraction of requests answered without a server
+  error (5xx or no response at all; client errors are the client's
+  problem);
+* **latency** — fraction of requests answered under a threshold
+  (:attr:`SLOConfig.latency_threshold_ms`).
+
+Each objective has a target (e.g. 99.9%), which defines an **error
+budget** of ``1 - target``.  The **burn rate** over a window is
+
+    (bad fraction in window) / (error budget)
+
+— burn 1.0 spends the budget exactly at the sustainable pace; burn 14.4
+over an hour spends 2% of a 30-day budget in that hour.  Alerts follow
+the multi-window pattern: a *short* and a *long* window must both
+exceed the threshold, so a single bad second cannot page but a
+sustained burn pages quickly and un-pages quickly once the short
+window recovers.
+
+Implementation: fixed-width time buckets (:attr:`SLOConfig.bucket_seconds`)
+of ``(total, errors, slow)`` counts over an injected monotonic clock,
+pruned past the longest configured window — so the whole thing
+unit-tests against a fake clock, the same discipline as
+:mod:`repro.dashboard.admission`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry, get_registry, metric_key
+
+__all__ = ["SLOConfig", "SLOTracker", "BurnAlert", "DEFAULT_ALERT_POLICIES"]
+
+
+@dataclass(frozen=True)
+class BurnAlertPolicy:
+    """One multi-window burn-rate alert rule."""
+
+    severity: str  # "page" | "ticket"
+    short_window_seconds: float
+    long_window_seconds: float
+    burn_threshold: float
+
+
+#: Google-SRE-shaped defaults, scaled to a dashboard that cares about
+#: hours, not 30-day budgets: page on a fast burn (5m AND 1h above
+#: 14.4), ticket on a slow one (30m AND 6h above 6).
+DEFAULT_ALERT_POLICIES: tuple[BurnAlertPolicy, ...] = (
+    BurnAlertPolicy("page", 300.0, 3600.0, 14.4),
+    BurnAlertPolicy("ticket", 1800.0, 21600.0, 6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives and windows for one deployment."""
+
+    #: Availability target: fraction of requests answered without a
+    #: server-side failure.
+    availability_target: float = 0.999
+    #: Latency objective: this fraction of requests...
+    latency_target: float = 0.99
+    #: ...must answer within this many milliseconds.
+    latency_threshold_ms: float = 250.0
+    #: Width of one counting bucket.
+    bucket_seconds: float = 10.0
+    #: Multi-window alert rules (applied to both objectives).
+    policies: tuple[BurnAlertPolicy, ...] = DEFAULT_ALERT_POLICIES
+
+    def longest_window(self) -> float:
+        longest = 0.0
+        for policy in self.policies:
+            longest = max(
+                longest, policy.short_window_seconds, policy.long_window_seconds
+            )
+        return longest or 3600.0
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """One evaluated alert rule (firing or not)."""
+
+    objective: str
+    severity: str
+    short_window_seconds: float
+    long_window_seconds: float
+    burn_threshold: float
+    short_burn: float
+    long_burn: float
+    firing: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "objective": self.objective,
+            "severity": self.severity,
+            "short_window_s": self.short_window_seconds,
+            "long_window_s": self.long_window_seconds,
+            "burn_threshold": self.burn_threshold,
+            "short_burn": round(self.short_burn, 4),
+            "long_burn": round(self.long_burn, 4),
+            "firing": self.firing,
+        }
+
+
+class _Bucket:
+    __slots__ = ("total", "errors", "slow")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.errors = 0
+        self.slow = 0
+
+
+_K_SLO_OK = metric_key("rased_slo_requests_total", outcome="ok")
+_K_SLO_ERROR = metric_key("rased_slo_requests_total", outcome="error")
+_K_SLO_SLOW = metric_key("rased_slo_slow_total")
+
+
+class SLOTracker:
+    """Sliding-window request accounting with burn-rate evaluation."""
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._lock = threading.Lock()
+        #: bucket index -> counts; pruned past the longest window.
+        self._buckets: dict[int, _Bucket] = {}  # guarded-by: _lock
+        self._horizon_buckets = int(
+            self.config.longest_window() / self.config.bucket_seconds
+        ) + 1
+
+    # -- write side ---------------------------------------------------------
+
+    def record(self, ok: bool, latency_seconds: float) -> None:
+        """Account one finished request against both objectives."""
+        slow = latency_seconds * 1000.0 > self.config.latency_threshold_ms
+        index = int(self._clock() / self.config.bucket_seconds)
+        with self._lock:
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                bucket = self._buckets[index] = _Bucket()
+                # Prune buckets past the horizon (only on bucket
+                # rollover, so steady traffic pays nothing per request).
+                if len(self._buckets) > self._horizon_buckets + 1:
+                    floor = index - self._horizon_buckets
+                    for stale in [i for i in self._buckets if i < floor]:
+                        del self._buckets[stale]
+            bucket.total += 1
+            if not ok:
+                bucket.errors += 1
+            if slow:
+                bucket.slow += 1
+        self.metrics.inc_key(_K_SLO_OK if ok else _K_SLO_ERROR)
+        if slow:
+            self.metrics.inc_key(_K_SLO_SLOW)
+
+    # -- read side ----------------------------------------------------------
+
+    def _window_counts(self, window_seconds: float) -> tuple[int, int, int]:
+        """(total, errors, slow) over the trailing window."""
+        now = self._clock()
+        first = int((now - window_seconds) / self.config.bucket_seconds)
+        last = int(now / self.config.bucket_seconds)
+        total = errors = slow = 0
+        with self._lock:
+            for index, bucket in self._buckets.items():
+                if first <= index <= last:
+                    total += bucket.total
+                    errors += bucket.errors
+                    slow += bucket.slow
+        return total, errors, slow
+
+    def burn_rate(self, objective: str, window_seconds: float) -> float:
+        """Burn rate for ``objective`` ("availability"|"latency")."""
+        total, errors, slow = self._window_counts(window_seconds)
+        if total == 0:
+            return 0.0
+        if objective == "availability":
+            bad = errors
+            budget = 1.0 - self.config.availability_target
+        elif objective == "latency":
+            bad = slow
+            budget = 1.0 - self.config.latency_target
+        else:
+            raise ValueError(f"unknown SLO objective {objective!r}")
+        if budget <= 0.0:
+            return float("inf") if bad else 0.0
+        return (bad / total) / budget
+
+    def alerts(self) -> list[BurnAlert]:
+        """Evaluate every policy against both objectives."""
+        out: list[BurnAlert] = []
+        for objective in ("availability", "latency"):
+            for policy in self.config.policies:
+                short = self.burn_rate(objective, policy.short_window_seconds)
+                long_ = self.burn_rate(objective, policy.long_window_seconds)
+                out.append(
+                    BurnAlert(
+                        objective=objective,
+                        severity=policy.severity,
+                        short_window_seconds=policy.short_window_seconds,
+                        long_window_seconds=policy.long_window_seconds,
+                        burn_threshold=policy.burn_threshold,
+                        short_burn=short,
+                        long_burn=long_,
+                        firing=(
+                            short > policy.burn_threshold
+                            and long_ > policy.burn_threshold
+                        ),
+                    )
+                )
+        return out
+
+    def snapshot(self) -> dict[str, object]:
+        """The ``/debug/slo`` payload."""
+        windows: dict[str, dict[str, object]] = {}
+        seen: set[float] = set()
+        for policy in self.config.policies:
+            for window in (
+                policy.short_window_seconds,
+                policy.long_window_seconds,
+            ):
+                if window in seen:
+                    continue
+                seen.add(window)
+                total, errors, slow = self._window_counts(window)
+                windows[f"{int(window)}s"] = {
+                    "total": total,
+                    "errors": errors,
+                    "slow": slow,
+                    "availability": (
+                        (total - errors) / total if total else None
+                    ),
+                    "latency_ok_ratio": (
+                        (total - slow) / total if total else None
+                    ),
+                    "availability_burn": round(
+                        self.burn_rate("availability", window), 4
+                    ),
+                    "latency_burn": round(self.burn_rate("latency", window), 4),
+                }
+        alerts = self.alerts()
+        return {
+            "objectives": {
+                "availability_target": self.config.availability_target,
+                "latency_target": self.config.latency_target,
+                "latency_threshold_ms": self.config.latency_threshold_ms,
+            },
+            "windows": windows,
+            "alerts": [a.to_dict() for a in alerts],
+            "firing": [a.to_dict() for a in alerts if a.firing],
+        }

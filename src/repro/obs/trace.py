@@ -9,8 +9,16 @@ free-form metadata (cubes touched, periods planned).
 
 Phases are *accumulated*, not recorded as individual spans — a year-long
 weekly time series plans and fetches dozens of times, and a trace that
-grows per cube would cost more than the query.  The conventional phase
-names the executor emits:
+grows per cube would cost more than the query.  Since the causal span
+layer landed (:mod:`repro.obs.span`), ``QueryTrace`` is the *phase
+view* of that tree: :meth:`flush_spans` mirrors the folded phase
+totals into the ambient span tree when the query finishes (one span
+per phase, not per invocation — same bounded cost), and
+:meth:`from_spans` reconstructs an equivalent ``QueryTrace`` from a
+recorded span list, which is how ``/debug/traces/<id>`` renders a
+stored tree back into the familiar breakdown.  All pre-span callers
+keep working unchanged.  The conventional phase names the executor
+emits:
 
 ``phase1.plan``
     level-optimizer planning (one accumulation per planned period);
@@ -26,7 +34,9 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator, NamedTuple
+from typing import Callable, Iterable, Iterator, NamedTuple
+
+from repro.obs.span import current_span, record_span
 
 __all__ = ["QueryTrace", "PhaseTiming"]
 
@@ -75,6 +85,48 @@ class QueryTrace:
             yield
         finally:
             self.add(phase, time.perf_counter() - started)
+
+    # -- span-tree bridge ----------------------------------------------------
+
+    def flush_spans(self) -> None:
+        """Mirror the folded phase totals into the ambient span tree.
+
+        Called once per query (by the executor, after the phases are
+        final) rather than per :meth:`add` — a weekly series folds
+        dozens of plan timings, and a span per fold would blow the
+        trace's span budget for no information the fold doesn't carry.
+        No-op when the query is not running under a trace.
+        """
+        if current_span() is None:
+            return
+        for phase, entry in self._phases.items():
+            record_span(phase, entry[0], count=entry[1])
+
+    @classmethod
+    def from_spans(
+        cls, spans: Iterable[object], name: str = "query"
+    ) -> "QueryTrace":
+        """Rebuild the phase view from recorded spans.
+
+        Spans whose names follow the ``phase*`` convention fold back
+        into the same accumulated breakdown :meth:`flush_spans`
+        emitted — the equivalence tests in ``tests/test_tracing.py``
+        pin that round trip.  Other spans are ignored (they carry
+        causal detail the flat view never had).
+        """
+        trace = cls(name)
+        for span in spans:
+            span_name = getattr(span, "name", "")
+            if not span_name.startswith("phase"):
+                continue
+            attributes = getattr(span, "attributes", {})
+            count = attributes.get("count", 1)
+            trace.add(
+                span_name,
+                getattr(span, "duration_seconds", 0.0),
+                count=int(count) if isinstance(count, (int, float)) else 1,
+            )
+        return trace
 
     # -- views --------------------------------------------------------------
 

@@ -33,6 +33,7 @@ from typing import Iterator
 
 from repro.errors import ConfigError, PageNotFoundError
 from repro.obs import MetricsRegistry, get_registry, metric_key
+from repro.obs.span import current_span, record_span
 from repro.storage.pages import PageStore
 
 __all__ = ["InMemoryDisk", "DirectoryDisk", "DEFAULT_READ_LATENCY", "DEFAULT_WRITE_LATENCY"]
@@ -95,7 +96,7 @@ class _LatencyMixin(PageStore):
         # Serializes DiskStats updates; the registry has its own lock.
         self._stats_lock = threading.Lock()
 
-    def _charge_read(self, nbytes: int) -> None:
+    def _charge_read(self, nbytes: int, page_id: str = "") -> None:
         with self._stats_lock:
             self.stats.reads += 1
             self.stats.bytes_read += nbytes
@@ -103,12 +104,32 @@ class _LatencyMixin(PageStore):
         metrics = self.metrics
         metrics.inc_key(_K_READS)
         metrics.inc_key(_K_READ_BYTES, nbytes)
+        if current_span() is not None:
+            # The span's wall duration only covers the real sleep (when
+            # modeled latency is slept); the modeled charge rides along
+            # as an attribute so the waterfall stays honest about what
+            # was paid vs what was simulated.  Never touches the
+            # virtual clock: benchmark numbers stay bit-identical.
+            # Recorded *before* the sleep (duration is known up front):
+            # a batch of pool workers would otherwise all wake together
+            # and serialize their span bookkeeping on the GIL exactly
+            # when the submitting query wants to resume.
+            record_span(
+                "storage.disk.read",
+                self.read_latency if self.real_sleep else 0.0,
+                attributes={
+                    "page": page_id,
+                    "bytes": nbytes,
+                    "simulated_ms": self.read_latency * 1000.0,
+                },
+                backdated=False,
+            )
         if self.read_latency:
             metrics.inc_key(_K_SIM_SECONDS, self.read_latency)
             if self.real_sleep:
                 time.sleep(self.read_latency)
 
-    def _charge_write(self, nbytes: int) -> None:
+    def _charge_write(self, nbytes: int, page_id: str = "") -> None:
         with self._stats_lock:
             self.stats.writes += 1
             self.stats.bytes_written += nbytes
@@ -116,6 +137,17 @@ class _LatencyMixin(PageStore):
         metrics = self.metrics
         metrics.inc_key(_K_WRITES)
         metrics.inc_key(_K_WRITE_BYTES, nbytes)
+        if current_span() is not None:
+            record_span(
+                "storage.disk.write",
+                self.write_latency if self.real_sleep else 0.0,
+                attributes={
+                    "page": page_id,
+                    "bytes": nbytes,
+                    "simulated_ms": self.write_latency * 1000.0,
+                },
+                backdated=False,
+            )
         if self.write_latency:
             metrics.inc_key(_K_SIM_SECONDS, self.write_latency)
             if self.real_sleep:
@@ -163,12 +195,12 @@ class InMemoryDisk(_LatencyMixin):
             data = self._pages[page_id]
         except KeyError:
             raise PageNotFoundError(f"no such page: {page_id!r}") from None
-        self._charge_read(len(data))
+        self._charge_read(len(data), page_id)
         return data
 
     def write(self, page_id: str, data: bytes) -> None:
         self._pages[page_id] = bytes(data)
-        self._charge_write(len(data))
+        self._charge_write(len(data), page_id)
 
     def delete(self, page_id: str) -> None:
         try:
@@ -228,7 +260,7 @@ class DirectoryDisk(_LatencyMixin):
             data = path.read_bytes()
         except FileNotFoundError:
             raise PageNotFoundError(f"no such page: {page_id!r}") from None
-        self._charge_read(len(data))
+        self._charge_read(len(data), page_id)
         return data
 
     def write(self, page_id: str, data: bytes) -> None:
@@ -237,7 +269,7 @@ class DirectoryDisk(_LatencyMixin):
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_bytes(data)
         os.replace(tmp, path)
-        self._charge_write(len(data))
+        self._charge_write(len(data), page_id)
 
     def delete(self, page_id: str) -> None:
         path = self._path(page_id)

@@ -43,6 +43,7 @@ import zlib
 from dataclasses import dataclass
 
 from repro.errors import PageNotFoundError, StorageError
+from repro.obs.span import span as causal_span
 from repro.storage.pages import PageStore, PageStoreProxy
 
 __all__ = ["IngestWAL", "JournaledStore", "WalRecovery", "WAL_PREFIX"]
@@ -163,7 +164,10 @@ class IngestWAL:
         batch = self._next_batch
         self._next_batch += 1
         payload = json.dumps({"batch": batch, "meta": meta or {}}).encode("utf-8")
-        self.raw.write(self.intent_page, payload)
+        with causal_span("storage.wal.begin") as wal_span:
+            if wal_span is not None:
+                wal_span.attributes["batch"] = batch
+            self.raw.write(self.intent_page, payload)
         self._active_batch = batch
         self._undo_count = 0
         self._journaled = set()
@@ -191,7 +195,11 @@ class IngestWAL:
         ).encode("utf-8")
         undo_id = self._undo_page(self._active_batch, self._undo_count)
         self._undo_count += 1
-        self.raw.write(undo_id, header + _HEADER_SEP + payload)
+        with causal_span("storage.wal.journal") as wal_span:
+            if wal_span is not None:
+                wal_span.attributes["page"] = page_id
+                wal_span.attributes["bytes"] = len(payload)
+            self.raw.write(undo_id, header + _HEADER_SEP + payload)
 
     def commit(self, meta: dict | None = None) -> None:
         """Make the batch durable.  Deleting the intent page is the
@@ -199,12 +207,18 @@ class IngestWAL:
         if self._active_batch is None:
             raise StorageError("no active WAL batch to commit")
         batch = self._active_batch
-        self.raw.delete(self.intent_page)
-        self._active_batch = None
-        self._journaled = set()
-        self._collect_undo(self._undo_prefix(batch))
-        checkpoint = json.dumps({"batch": batch, "meta": meta or {}}).encode("utf-8")
-        self.raw.write(self.checkpoint_page, checkpoint)
+        with causal_span("storage.wal.commit") as wal_span:
+            if wal_span is not None:
+                wal_span.attributes["batch"] = batch
+                wal_span.attributes["undo_pages"] = self._undo_count
+            self.raw.delete(self.intent_page)
+            self._active_batch = None
+            self._journaled = set()
+            self._collect_undo(self._undo_prefix(batch))
+            checkpoint = json.dumps({"batch": batch, "meta": meta or {}}).encode(
+                "utf-8"
+            )
+            self.raw.write(self.checkpoint_page, checkpoint)
 
     # -- recovery -------------------------------------------------------------
 

@@ -37,7 +37,15 @@ from repro.collection.pipeline import IngestionPipeline, IngestReport
 from repro.dashboard.admission import AdmissionConfig, AdmissionController
 from repro.dashboard.api import Dashboard
 from repro.geo.zones import ZoneAtlas, build_world
-from repro.obs import MetricsRegistry
+from repro.obs import (
+    DEFAULT_RECORDER_CAPACITY,
+    DEFAULT_SAMPLE_EVERY,
+    FlightRecorder,
+    MetricsRegistry,
+    SLOConfig,
+    SLOTracker,
+    Tracer,
+)
 from repro.osm.changesets import ChangesetStore
 from repro.osm.replication import (
     CircuitBreaker,
@@ -91,6 +99,20 @@ class SystemConfig:
     #: benchmarks stay bit-identical — serving deployments opt in via
     #: the ``rased-repro serve`` flags.
     admission: AdmissionConfig = AdmissionConfig()
+    #: Causal span tracing.  On by default: an untraced code path costs
+    #: one ``ContextVar.get`` and the enabled path is held to a <=5%
+    #: overhead budget by ``benchmarks/bench_tracing_overhead.py``.
+    #: Spans never touch the modeled disk clock, so experiment numbers
+    #: are bit-identical either way.
+    tracing: bool = True
+    #: Flight-recorder ring size per retention class (always-kept and
+    #: sampled), and the every-Nth baseline sampling period for ok
+    #: traces (0 disables baseline sampling).
+    trace_capacity: int = DEFAULT_RECORDER_CAPACITY
+    trace_sample_every: int = DEFAULT_SAMPLE_EVERY
+    #: Service-level objectives evaluated over the HTTP request stream
+    #: (availability + latency, multi-window burn-rate alerts).
+    slo: SLOConfig = SLOConfig()
 
 
 class RasedSystem:
@@ -119,6 +141,20 @@ class RasedSystem:
         #: see (cube writes, live-overlay changes, denominator
         #: refreshes); versions the result cache.
         self.epoch = EpochCounter()
+
+        #: Always-on flight recorder + the tracer that feeds it.  The
+        #: recorder exists even with tracing disabled (so ``/debug``
+        #: surfaces answer consistently); a disabled tracer simply
+        #: never delivers traces to it.
+        self.recorder = FlightRecorder(
+            capacity=config.trace_capacity,
+            sample_every=config.trace_sample_every,
+            metrics=self.metrics,
+        )
+        self.tracer = Tracer(recorder=self.recorder, enabled=config.tracing)
+        #: SLO accounting over the HTTP request stream; the server
+        #: records into it, ``/health`` and ``/debug/slo`` read it.
+        self.slo = SLOTracker(config.slo, metrics=self.metrics)
 
         self.simulator = EditSimulator(atlas=atlas, config=config.simulation)
         self.day_feed = ReplicationFeed(feed_root / "replication", "day")
@@ -191,6 +227,7 @@ class RasedSystem:
             metrics=self.metrics,
             iosched=self.iosched,
             result_cache=self.result_cache,
+            tracer=self.tracer,
         )
         self.pipeline = IngestionPipeline(
             daily_crawler=DailyCrawler(

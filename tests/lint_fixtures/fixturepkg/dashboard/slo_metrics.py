@@ -1,0 +1,24 @@
+"""Fixture: metric-name hygiene for the SLO and trace metric families.
+
+The observability layer mints ``rased_slo_*`` (burn-rate accounting)
+and ``rased_trace_*`` (flight-recorder retention) series; consumers
+outside the obs packages must follow the same discipline as every
+other family — prepared module-scope keys only.
+"""
+
+_M_SLO_OK = metric_key("rased_slo_requests_total", outcome="ok")  # noqa: F821  module scope: fine
+
+_M_TRACE_KEPT = metric_key("rased_trace_kept_total", reason="error")  # noqa: F821  module scope: fine
+
+
+def record_request(registry) -> None:
+    registry.inc("rased_slo_requests_total", outcome="error")
+
+
+def trace_dropped_key() -> object:
+    return metric_key("rased_trace_dropped_total")  # noqa: F821
+
+
+def record_prepared(registry) -> None:
+    registry.inc_key(_M_SLO_OK)
+    registry.inc_key(_M_TRACE_KEPT)

@@ -55,7 +55,7 @@ def test_fixture_tree_rule_counts(fixture_report: LintReport) -> None:
         "broad-except": 1,
         "mutable-default": 1,
         "cube-order": 2,
-        "metric-name": 4,
+        "metric-name": 6,
         "todo": 1,
     }
     assert fixture_report.suppressed == 1
@@ -144,6 +144,7 @@ def test_metric_name_hygiene(fixture_report: LintReport) -> None:
     assert {f.path for f in found} == {
         "collection/metrics.py",
         "dashboard/admission.py",
+        "dashboard/slo_metrics.py",
     }
     messages = " ".join(f.message for f in found)
     assert ".inc()" in messages  # literal passed to a registry writer
@@ -151,6 +152,8 @@ def test_metric_name_hygiene(fixture_report: LintReport) -> None:
     # The module-level metric_key() constants are NOT among the findings.
     assert not any("_K_OK" in f.context for f in found)
     assert not any("_M_SHED_OK" in f.context for f in found)
+    assert not any("_M_SLO_OK" in f.context for f in found)
+    assert not any("_M_TRACE_KEPT" in f.context for f in found)
     # The admission metric family is covered like any other: a literal
     # rased_admission_* name in a registry writer is flagged.
     admission = [f for f in found if f.path == "dashboard/admission.py"]
@@ -158,6 +161,10 @@ def test_metric_name_hygiene(fixture_report: LintReport) -> None:
     assert any(
         "rased_admission_deadline_hits_total" in f.context for f in admission
     )
+    # Same discipline for the SLO / flight-recorder families.
+    slo = [f for f in found if f.path == "dashboard/slo_metrics.py"]
+    assert any("rased_slo_requests_total" in f.context for f in slo)
+    assert any("rased_trace_dropped_total" in f.context for f in slo)
 
 
 def test_todo_tracking(fixture_report: LintReport) -> None:

@@ -203,14 +203,107 @@ class TestExports:
         for line in registry.to_prometheus().strip().splitlines():
             if line.startswith("#"):
                 parts = line.split()
-                assert parts[:2] == ["#", "TYPE"] and parts[3] in (
-                    "counter",
-                    "summary",
-                )
+                assert parts[0] == "#" and parts[1] in ("HELP", "TYPE")
+                if parts[1] == "TYPE":
+                    assert parts[3] in ("counter", "summary", "gauge")
                 continue
             name_part, value_part = line.rsplit(" ", 1)
             float(value_part)
             assert name_part[0].isalpha()
+
+    def test_every_family_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.inc("a_total")
+        registry.observe("b_seconds", 0.2)
+        lines = registry.to_prometheus().strip().splitlines()
+        families = ("a_total", "b_seconds", "b_seconds_window_count")
+        for family in families:
+            help_index = lines.index(
+                next(l for l in lines if l.startswith(f"# HELP {family} "))
+            )
+            # HELP immediately precedes TYPE for every family.
+            assert lines[help_index + 1].startswith(f"# TYPE {family} ")
+
+    def test_describe_round_trips_into_help(self):
+        registry = MetricsRegistry()
+        registry.describe("a_total", "Things that\nhappened \\ totally.")
+        registry.inc("a_total")
+        text = registry.to_prometheus()
+        # Newlines and backslashes are escaped per the exposition format.
+        assert "# HELP a_total Things that\\nhappened \\\\ totally." in text
+        assert "\nThings that" not in text
+
+    def test_undescribed_family_gets_generated_help(self):
+        registry = MetricsRegistry()
+        registry.inc("mystery_total")
+        assert "# HELP mystery_total " in registry.to_prometheus()
+
+    def test_summary_families_are_contiguous(self):
+        """window_count gauges must not split their parent summary block."""
+        registry = MetricsRegistry()
+        registry.observe("a_seconds", 0.1, path="/x")
+        registry.observe("a_seconds", 0.2, path="/y")
+        registry.observe("b_seconds", 0.3)
+        current: str | None = None
+        seen: set[str] = set()
+        for line in registry.to_prometheus().strip().splitlines():
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert family not in seen, f"family {family} split into blocks"
+                seen.add(family)
+                current = family
+            elif not line.startswith("#"):
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                base = current or ""
+                assert name == base or name.startswith(base + "_") or name == base
+
+    def test_window_count_in_summary_and_exports(self):
+        registry = MetricsRegistry(histogram_window=4)
+        for value in range(10):
+            registry.observe("w_seconds", float(value))
+        summary = registry.histogram_summary("w_seconds")
+        assert summary["count"] == 10
+        assert summary["window_count"] == 4
+        [entry] = registry.snapshot()["histograms"]["w_seconds"]
+        assert entry["window_count"] == 4
+        assert "w_seconds_window_count 4" in registry.to_prometheus()
+
+    def test_scrape_under_concurrent_observes(self):
+        """Scrapes copy under the lock and render outside it; hammering
+        observes while scraping must neither crash nor corrupt output."""
+        registry = MetricsRegistry(histogram_window=256)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def observe_loop():
+            value = 0.0
+            while not stop.is_set():
+                value += 1.0
+                registry.observe("hot_seconds", value, path="/analysis")
+                registry.inc("hot_total")
+
+        def scrape_loop():
+            try:
+                for _ in range(200):
+                    text = registry.to_prometheus()
+                    for line in text.strip().splitlines():
+                        if not line.startswith("#"):
+                            float(line.rsplit(" ", 1)[1])
+                    registry.snapshot()
+                    registry.histogram_summary("hot_seconds", path="/analysis")
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=observe_loop) for _ in range(4)]
+        scraper = threading.Thread(target=scrape_loop)
+        for thread in writers:
+            thread.start()
+        scraper.start()
+        scraper.join()
+        stop.set()
+        for thread in writers:
+            thread.join()
+        assert not errors
 
 
 # -- traces -----------------------------------------------------------------

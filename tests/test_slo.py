@@ -1,0 +1,181 @@
+"""SLO burn-rate tracking against a fake clock.
+
+The multi-window property under test: a sustained error burn fires the
+page alert (short AND long window over threshold), a single bad blip
+does not, and recovery un-pages as soon as the short window goes clean
+— all driven deterministically by advancing an injected clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLOConfig, SLOTracker
+from repro.obs.slo import DEFAULT_ALERT_POLICIES, BurnAlertPolicy
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(**config):
+    clock = FakeClock()
+    tracker = SLOTracker(
+        SLOConfig(**config), clock=clock, metrics=MetricsRegistry()
+    )
+    return tracker, clock
+
+
+def alert_for(tracker, objective, severity):
+    return next(
+        a
+        for a in tracker.alerts()
+        if a.objective == objective and a.severity == severity
+    )
+
+
+class TestBurnRates:
+    def test_no_traffic_means_zero_burn(self):
+        tracker, _ = make_tracker()
+        assert tracker.burn_rate("availability", 300.0) == 0.0
+        assert not any(a.firing for a in tracker.alerts())
+
+    def test_all_errors_burn_at_inverse_budget(self):
+        tracker, clock = make_tracker(availability_target=0.999)
+        for _ in range(10):
+            tracker.record(ok=False, latency_seconds=0.01)
+            clock.advance(1.0)
+        # bad fraction 1.0 over a budget of 0.001 -> burn 1000.
+        assert tracker.burn_rate("availability", 300.0) == pytest.approx(1000.0)
+
+    def test_unknown_objective_raises(self):
+        tracker, _ = make_tracker()
+        tracker.record(ok=True, latency_seconds=0.01)
+        with pytest.raises(ValueError):
+            tracker.burn_rate("throughput", 300.0)
+
+    def test_latency_objective_counts_slow_requests(self):
+        tracker, clock = make_tracker(
+            latency_target=0.9, latency_threshold_ms=100.0
+        )
+        for n in range(10):
+            tracker.record(ok=True, latency_seconds=0.5 if n < 5 else 0.01)
+            clock.advance(1.0)
+        # Half the requests were slow against a 10% budget -> burn 5.
+        assert tracker.burn_rate("latency", 300.0) == pytest.approx(5.0)
+        assert tracker.burn_rate("availability", 300.0) == 0.0
+
+
+class TestAlerts:
+    def test_sustained_burn_fires_page_then_recovers(self):
+        tracker, clock = make_tracker()
+        # An hour of steady traffic where 1 in 10 requests errors:
+        # availability burn = 0.1 / 0.001 = 100 > 14.4 in both the 5m
+        # and 1h windows -> page fires.
+        for n in range(360):
+            tracker.record(ok=(n % 10 != 0), latency_seconds=0.01)
+            clock.advance(10.0)
+        page = alert_for(tracker, "availability", "page")
+        assert page.firing
+        assert page.short_burn > 14.4 and page.long_burn > 14.4
+        assert alert_for(tracker, "availability", "ticket").firing
+
+        # Recovery: the short window fills with clean traffic, so the
+        # page un-fires even though the hour window still remembers.
+        for _ in range(60):
+            tracker.record(ok=True, latency_seconds=0.01)
+            clock.advance(10.0)
+        page = alert_for(tracker, "availability", "page")
+        assert not page.firing
+        assert page.short_burn <= 14.4
+        assert page.long_burn > 0.0  # the long window has not forgotten
+
+    def test_single_blip_does_not_page(self):
+        tracker, clock = make_tracker()
+        # An hour of clean traffic with one isolated error: the short
+        # window burns hot briefly, but the hour-long window never
+        # crosses threshold, so no page.
+        tracker.record(ok=False, latency_seconds=0.01)
+        for _ in range(359):
+            tracker.record(ok=True, latency_seconds=0.01)
+            clock.advance(10.0)
+        assert not alert_for(tracker, "availability", "page").firing
+
+    def test_alert_set_covers_both_objectives(self):
+        tracker, _ = make_tracker()
+        alerts = tracker.alerts()
+        assert len(alerts) == 2 * len(DEFAULT_ALERT_POLICIES)
+        assert {a.objective for a in alerts} == {"availability", "latency"}
+
+    def test_custom_policy_windows(self):
+        policy = BurnAlertPolicy("page", 30.0, 120.0, 2.0)
+        tracker, clock = make_tracker(policies=(policy,))
+        for _ in range(24):
+            tracker.record(ok=False, latency_seconds=0.01)
+            clock.advance(5.0)
+        [availability, latency] = tracker.alerts()
+        assert availability.firing
+        assert availability.burn_threshold == 2.0
+        assert not latency.firing
+
+
+class TestWindowsAndPruning:
+    def test_old_buckets_age_out_of_the_window(self):
+        tracker, clock = make_tracker()
+        tracker.record(ok=False, latency_seconds=0.01)
+        assert tracker.burn_rate("availability", 300.0) > 0.0
+        clock.advance(400.0)
+        tracker.record(ok=True, latency_seconds=0.01)
+        assert tracker.burn_rate("availability", 300.0) == 0.0
+
+    def test_buckets_are_pruned_past_the_horizon(self):
+        policy = BurnAlertPolicy("page", 30.0, 120.0, 2.0)
+        tracker, clock = make_tracker(policies=(policy,))
+        for _ in range(10 * tracker._horizon_buckets):
+            tracker.record(ok=True, latency_seconds=0.01)
+            clock.advance(10.0)
+        assert len(tracker._buckets) <= tracker._horizon_buckets + 1
+
+    def test_requests_are_metered(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(
+            SLOConfig(latency_threshold_ms=100.0),
+            clock=FakeClock(),
+            metrics=registry,
+        )
+        tracker.record(ok=True, latency_seconds=0.01)
+        tracker.record(ok=False, latency_seconds=0.5)
+        assert registry.value("rased_slo_requests_total", outcome="ok") == 1
+        assert registry.value("rased_slo_requests_total", outcome="error") == 1
+        assert registry.value("rased_slo_slow_total") == 1
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        tracker, clock = make_tracker()
+        for n in range(20):
+            tracker.record(ok=(n != 0), latency_seconds=0.01)
+            clock.advance(10.0)
+        snap = tracker.snapshot()
+        assert snap["objectives"]["availability_target"] == 0.999
+        assert set(snap["windows"]) == {"300s", "3600s", "1800s", "21600s"}
+        hour = snap["windows"]["3600s"]
+        assert hour["total"] == 20 and hour["errors"] == 1
+        assert hour["availability"] == pytest.approx(0.95)
+        assert isinstance(snap["alerts"], list)
+        assert snap["firing"] == [
+            a for a in snap["alerts"] if a["firing"]
+        ]
+
+    def test_snapshot_with_no_traffic_uses_nulls(self):
+        tracker, _ = make_tracker()
+        snap = tracker.snapshot()
+        assert snap["windows"]["300s"]["availability"] is None
+        assert snap["firing"] == []

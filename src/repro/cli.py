@@ -259,6 +259,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_conc(args: argparse.Namespace) -> int:
+    from repro.tools.conc.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dashboard.admission import AdmissionConfig
     from repro.dashboard.server import DashboardServer
@@ -603,6 +609,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    conc = sub.add_parser(
+        "conc",
+        help=(
+            "run the whole-program concurrency analyzer "
+            "(repro.tools.conc): lock order, blocking-under-lock, "
+            "atomicity, context propagation"
+        ),
+    )
+    from repro.tools.conc.cli import add_conc_arguments
+
+    add_conc_arguments(conc)
+    conc.set_defaults(func=_cmd_conc)
 
     return parser
 

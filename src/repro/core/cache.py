@@ -131,23 +131,31 @@ class CacheManager:
         Reading happens through the index (and thus charges disk I/O),
         but preloading is part of RASED's offline maintenance — callers
         benchmarking queries should reset disk stats afterwards.
+
+        The disk reads happen *outside* ``_lock``: each one charges
+        modeled latency, and holding the cache lock across a whole
+        preload sweep would stall every concurrent ``get``/``admit``
+        for the sweep's duration.  The fresh cube map is assembled on
+        the side and swapped in under one brief acquisition.
         """
+        fresh: OrderedDict[TemporalKey, DataCube] = OrderedDict()
+        preloaded_per_level: list[tuple[Level, int]] = []
+        for level, allotment in self.ratios.slots_per_level(self.slots).items():
+            if level not in self.index.levels or allotment <= 0:
+                continue
+            keys = self.index.keys(level)
+            taken = keys[-allotment:]
+            for key in taken:
+                fresh[key] = self.index.get(key)
+            if taken:
+                preloaded_per_level.append((level, len(taken)))
         with self._lock:
-            self._cubes.clear()
+            self._cubes = fresh
             self.hits = 0
             self.misses = 0
-            loaded = 0
-            for level, allotment in self.ratios.slots_per_level(self.slots).items():
-                if level not in self.index.levels or allotment <= 0:
-                    continue
-                keys = self.index.keys(level)
-                taken = keys[-allotment:]
-                for key in taken:
-                    self._cubes[key] = self.index.get(key)
-                    loaded += 1
-                if taken:
-                    self.metrics.inc_key(_K_PRELOADED[level], len(taken))
-        return loaded
+        for level, count in preloaded_per_level:
+            self.metrics.inc_key(_K_PRELOADED[level], count)
+        return len(fresh)
 
     def refresh_key(self, key: TemporalKey) -> None:
         """Re-read one cached cube after maintenance replaced it.

@@ -26,6 +26,12 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, TypeVar
 
+from repro.core.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.errors import ConfigError
 from repro.obs import MetricsRegistry, get_registry, metric_key
 from repro.obs.span import Span, current_span, reset_ambient, set_ambient
@@ -205,12 +211,20 @@ class IOScheduler:
                 outcomes = [(unique[0], self.fetch(unique[0], load))]
             else:
                 # ContextVars do NOT cross pool submissions: capture the
-                # submitter's ambient span here and re-attach it inside
-                # each worker, so load/wait spans land in the submitting
-                # query's tree instead of becoming orphans.
+                # submitter's ambient span AND deadline here and
+                # re-attach both inside each worker, so load/wait spans
+                # land in the submitting query's tree instead of
+                # becoming orphans — and a query past its budget stops
+                # fetching instead of loading pages nobody will use.
                 parent = current_span()
+                deadline = current_deadline()
                 submitted = [
-                    (key, self._pool.submit(self._fetch_attached, parent, key, load))
+                    (
+                        key,
+                        self._pool.submit(
+                            self._fetch_attached, parent, deadline, key, load
+                        ),
+                    )
                     for key in unique
                 ]
                 outcomes = [(key, future.result()) for key, future in submitted]
@@ -234,11 +248,23 @@ class IOScheduler:
         return batch
 
     def _fetch_attached(
-        self, parent: Span | None, key: K, load: Callable[[K], V]
+        self,
+        parent: Span | None,
+        deadline: Deadline | None,
+        key: K,
+        load: Callable[[K], V],
     ) -> tuple[V, bool]:
-        """Pool entry point: the submitter's span crosses the pool
-        boundary as an explicit argument (ContextVars do not)."""
-        return self._fetch(key, load, parent)
+        """Pool entry point: the submitter's span and deadline cross the
+        pool boundary as explicit arguments (ContextVars do not).
+
+        The deadline is checked *before* entering the single-flight
+        table: an already-expired caller must not become a leader,
+        because its failure would resolve the shared future and poison
+        every follower whose own budget still has room.
+        """
+        with deadline_scope(deadline):
+            check_deadline("iosched.fetch")
+            return self._fetch(key, load, parent)
 
     # -- introspection / lifecycle ------------------------------------------
 

@@ -88,7 +88,12 @@ class LiveMonitor:
         """Crawl newly published hourly diffs; returns hours processed."""
         with self._poll_lock, causal_span("live.poll") as poll_span:
             processed = 0
-            for sequence, timestamp, change in self.hour_feed.iter_since(
+            # The crawl deliberately holds _poll_lock: polls mutate the
+            # crawler cursor and must be serialized end-to-end.  Queries
+            # never take _poll_lock (they use _lock), so the blocking
+            # feed reads stall only a competing poll — which is the
+            # designed behavior, not a hazard.
+            for sequence, timestamp, change in self.hour_feed.iter_since(  # lint: allow[conc-blocking]
                 self._crawler.last_sequence
             ):
                 result = DailyCrawlResult(sequence=sequence, timestamp=timestamp)

@@ -9,6 +9,8 @@ queries (N updates in a region, or the updates of one changeset).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from repro.baseline.sqlgen import to_sql
 from repro.core.calendar import Level
 from repro.core.executor import QueryExecutor
@@ -23,6 +25,11 @@ from repro.obs import MetricsRegistry, get_registry
 from repro.storage.hash_index import HashIndex
 from repro.storage.spatial_index import GridSpatialIndex
 from repro.storage.warehouse import Warehouse
+
+if TYPE_CHECKING:
+    from repro.core.contributors import Contributor
+    from repro.core.live import LiveMonitor
+    from repro.osm.changesets import ChangesetStore
 
 __all__ = ["Dashboard", "DEFAULT_SAMPLE_SIZE"]
 
@@ -40,8 +47,8 @@ class Dashboard:
         warehouse: Warehouse | None = None,
         hash_index: HashIndex | None = None,
         spatial_index: GridSpatialIndex | None = None,
-        live_monitor=None,
-        changeset_store=None,
+        live_monitor: LiveMonitor | None = None,
+        changeset_store: ChangesetStore | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.executor = executor
@@ -84,7 +91,7 @@ class Dashboard:
         default_end = coverage[1] if coverage else None
         return self.analysis(parse_sql(sql, default_end=default_end))
 
-    def top_contributors(self, n: int = 10):
+    def top_contributors(self, n: int = 10) -> list[Contributor]:
         """Contributor analytics from changeset metadata (extension)."""
         if self.changeset_store is None:
             raise QueryError("this deployment has no changeset store")
@@ -98,23 +105,27 @@ class Dashboard:
 
     # -- rendered views --------------------------------------------------------
 
-    def table(self, query: AnalysisQuery, **render_args) -> str:
+    def table(self, query: AnalysisQuery, **render_args: Any) -> str:
         return tables.render_table(self.analysis(query), **render_args)
 
     def pivot(
-        self, query: AnalysisQuery, row_attribute: str, column_attribute: str, **render_args
+        self,
+        query: AnalysisQuery,
+        row_attribute: str,
+        column_attribute: str,
+        **render_args: Any,
     ) -> str:
         return tables.render_pivot(
             self.analysis(query), row_attribute, column_attribute, **render_args
         )
 
-    def bar_chart(self, query: AnalysisQuery, **render_args) -> str:
+    def bar_chart(self, query: AnalysisQuery, **render_args: Any) -> str:
         return charts.bar_chart(self.analysis(query), **render_args)
 
-    def time_series(self, query: AnalysisQuery, **render_args) -> str:
+    def time_series(self, query: AnalysisQuery, **render_args: Any) -> str:
         return charts.time_series(self.analysis(query), **render_args)
 
-    def choropleth(self, query: AnalysisQuery, **render_args) -> str:
+    def choropleth(self, query: AnalysisQuery, **render_args: Any) -> str:
         return charts.choropleth(self.analysis(query), self.atlas, **render_args)
 
     def timelapse(
@@ -160,7 +171,7 @@ class Dashboard:
         else:
             regions = [BBox(min_lon=-180, min_lat=-90, max_lon=180, max_lat=90)]
         samples: list[UpdateRecord] = []
-        seen: set[tuple] = set()
+        seen: set[tuple[object, ...]] = set()
         for region in regions:
             if len(samples) >= n:
                 break

@@ -52,13 +52,13 @@ import threading
 import time
 from datetime import date
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
-from typing import Mapping
+from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.baseline.sqlgen import to_sql
 from repro.core.calendar import Level
 from repro.core.deadline import deadline_scope
-from repro.core.query import AnalysisQuery
+from repro.core.query import AnalysisQuery, QueryResult
 from repro.dashboard.admission import AdmissionController
 from repro.dashboard.api import Dashboard
 from repro.errors import DeadlineExceededError, QueryError, RasedError
@@ -113,7 +113,7 @@ def _path_family(path: str) -> str:
     return "other"
 
 
-def query_from_json(payload: dict) -> AnalysisQuery:
+def query_from_json(payload: dict[str, Any]) -> AnalysisQuery:
     """Build an :class:`AnalysisQuery` from a JSON request body."""
     try:
         start = date.fromisoformat(payload["start"])
@@ -147,7 +147,7 @@ def query_from_json(payload: dict) -> AnalysisQuery:
     )
 
 
-def result_to_json(result) -> dict:
+def result_to_json(result: QueryResult) -> dict[str, object]:
     """Serialize a QueryResult for the wire."""
     rows = []
     for key, value in result.sorted_rows():
@@ -227,13 +227,13 @@ class _Handler(BaseHTTPRequestHandler):
     events: EventLog | None = None
 
     # Silence per-request logging; tests drive many requests.
-    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
         pass
 
     def _send(
         self,
         status: int,
-        payload: dict,
+        payload: dict[str, object],
         extra_headers: Mapping[str, str] | None = None,
     ) -> None:
         # default=str covers non-JSON leaves in dumped span attributes
@@ -285,7 +285,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _timed(self, handler) -> None:
+    def _timed(self, handler: Callable[[], None]) -> None:
         """Run one request handler and record HTTP-level metrics.
 
         The whole request runs under a root ``http.request`` span (when
@@ -297,7 +297,7 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         self._status = 0
         self._responded = False
-        self._pending: tuple[int, bytes, str, dict] | None = None
+        self._pending: tuple[int, bytes, str, dict[str, str]] | None = None
         family = _path_family(urlparse(self.path).path)
         self.tracker.enter()
         try:
@@ -352,7 +352,7 @@ class _Handler(BaseHTTPRequestHandler):
                 finally:
                     self.tracker.exit()
 
-    def _admit_and_run(self, handler) -> None:
+    def _admit_and_run(self, handler: Callable[[], None]) -> None:
         """Apply front-door policy (when configured), then the handler."""
         admission = self.admission
         if admission is None:
@@ -387,7 +387,7 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             admission.release()
 
-    def _run_guarded(self, handler) -> None:
+    def _run_guarded(self, handler: Callable[[], None]) -> None:
         """Run a handler with the full error -> status mapping."""
         try:
             handler()
@@ -414,7 +414,7 @@ class _Handler(BaseHTTPRequestHandler):
             index = self.dashboard.executor.index
             coverage = index.coverage()
             quarantined = index.quarantined_count()
-            payload: dict = {
+            payload: dict[str, object] = {
                 # "degraded" = still serving, but some cubes are
                 # quarantined and answers touching them carry
                 # partial=true.
@@ -629,7 +629,7 @@ class DashboardServer:
         recorder: FlightRecorder | None = None,
         slo: SLOTracker | None = None,
         events: EventLog | None = None,
-    ):
+    ) -> None:
         self._tracker = _RequestTracker()
         self._admission = admission
         self._drain_timeout = drain_timeout
@@ -675,7 +675,10 @@ class DashboardServer:
         return self._slo
 
     def start(self) -> None:
-        self._thread = threading.Thread(
+        # Lifecycle thread: started before any request exists, so there
+        # is no ambient span or deadline to hand across.  Per-request
+        # context is attached by the handler itself.
+        self._thread = threading.Thread(  # lint: allow[conc-context]
             target=self._http.serve_forever, name="rased-dashboard", daemon=True
         )
         self._thread.start()
@@ -694,5 +697,5 @@ class DashboardServer:
         self.start()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

@@ -16,6 +16,7 @@ from repro.testing.faults import (
     InjectedFault,
     classify_page_op,
 )
+from repro.testing.lockwitness import LockWitness, WitnessedInversion
 
 __all__ = [
     "INJECTION_POINTS",
@@ -25,5 +26,7 @@ __all__ = [
     "FaultyPageStore",
     "FaultyReplicationFeed",
     "InjectedFault",
+    "LockWitness",
+    "WitnessedInversion",
     "classify_page_op",
 ]

@@ -1,0 +1,47 @@
+"""Whole-program concurrency analyzer for the RASED reproduction.
+
+Layered on :mod:`repro.tools.lint` (same :class:`~repro.tools.lint.model.Finding`
+model, ``# lint: allow[rule]`` suppressions, and baseline machinery),
+this package adds four *interprocedural* rule families that the
+intraprocedural lint rules cannot express:
+
+``conc-lock-order``
+    Build a project call graph plus a lock-order graph (which locks are
+    held at every call site, resolved through method calls) and report
+    any cycle — a potential deadlock — with the full acquisition path.
+
+``conc-blocking``
+    Calls to known-blocking operations (modeled disk reads,
+    ``Future.result``, ``time.sleep``, file/socket/queue waits, and any
+    function transitively reaching one) while a lock is held.
+
+``conc-atomicity``
+    Check-then-act races on ``# guarded-by:`` attributes (a stale read
+    outside the lock flowing into a write under it) and compound
+    read-modify-write sequences spanning a lock release.
+
+``conc-context``
+    ``Executor.submit`` / ``threading.Thread`` call sites that drop the
+    ambient deadline/span context instead of handing it off the way
+    :mod:`repro.core.iosched` does.
+
+The static pass is cross-checked by the runtime lock-order witness
+(:mod:`repro.testing.lockwitness`): ``--witness`` loads a witnessed
+acquisition graph and reports contradictions (failing) and call-graph
+blind spots (warnings).
+"""
+
+from __future__ import annotations
+
+from repro.tools.conc.callgraph import ProgramIndex, build_index
+from repro.tools.conc.model import ConcConfig
+from repro.tools.conc.runner import CONC_RULES, ConcReport, run_conc
+
+__all__ = [
+    "ConcConfig",
+    "ConcReport",
+    "CONC_RULES",
+    "ProgramIndex",
+    "build_index",
+    "run_conc",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.tools.conc`` entry point."""
+
+from repro.tools.conc.cli import main
+
+raise SystemExit(main())

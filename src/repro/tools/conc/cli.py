@@ -1,0 +1,157 @@
+"""Command-line front end: ``rased-repro conc`` / ``python -m repro.tools.conc``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tools.conc.model import ConcConfig
+from repro.tools.conc.runner import CONC_RULES, run_conc
+from repro.tools.lint.cli import default_baseline_path
+
+__all__ = ["main", "add_conc_arguments", "run_from_args"]
+
+
+def add_conc_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is machine-readable, for CI)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file path (default: lint-baseline.json at repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=f"comma-separated rule subset (known: {', '.join(CONC_RULES)})",
+    )
+    parser.add_argument(
+        "--root",
+        dest="conc_root",
+        default=None,
+        help="package directory to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--top-package",
+        default=None,
+        help="top-level package name under --root (default: repro)",
+    )
+    parser.add_argument(
+        "--witness",
+        default=None,
+        help=(
+            "lock-witness artifact (JSON written by "
+            "repro.testing.lockwitness) to cross-check against the "
+            "static lock-order graph"
+        ),
+    )
+    parser.add_argument(
+        "--strict-witness",
+        action="store_true",
+        help="treat witness blind-spot warnings as failing findings",
+    )
+    parser.add_argument(
+        "--dump-graph",
+        default=None,
+        metavar="PATH",
+        help="write the static lock-order graph (locks + edges) as JSON",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = [name for name in rules if name not in CONC_RULES]
+        if unknown:
+            print(
+                f"error: unknown conc rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(CONC_RULES)})",
+                file=sys.stderr,
+            )
+            return 2
+    package_root = Path(args.conc_root) if args.conc_root else None
+    baseline = (
+        None
+        if args.no_baseline
+        else Path(args.baseline)
+        if args.baseline
+        else default_baseline_path()
+    )
+    witness = Path(args.witness) if args.witness else None
+    config = ConcConfig(top_package=args.top_package) if args.top_package else None
+    report = run_conc(
+        package_root=package_root,
+        config=config,
+        baseline_path=baseline,
+        rules=rules,
+        witness_path=witness,
+        strict_witness=args.strict_witness,
+    )
+
+    if args.dump_graph:
+        Path(args.dump_graph).write_text(
+            json.dumps(report.graph, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(
+                f"{finding.path}:{finding.line}: [{finding.rule}] "
+                f"{finding.message}"
+            )
+        for warning in report.warnings:
+            print(
+                f"{warning.path}:{warning.line}: warning [{warning.rule}] "
+                f"{warning.message}"
+            )
+        for fingerprint in report.stale_baseline:
+            print(
+                f"warning: stale baseline entry (no live finding matches): "
+                f"{fingerprint}"
+            )
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_scanned} "
+            f"file(s), {report.lock_count} lock(s), "
+            f"{report.edge_count} lock-order edge(s) "
+            f"({report.baselined} baselined, {report.suppressed} suppressed"
+            + (
+                f", {len(report.warnings)} warning(s)"
+                if report.warnings
+                else ""
+            )
+            + ")"
+        )
+        print(("FAIL: " if report.findings else "OK: ") + summary)
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.conc",
+        description=(
+            "RASED project concurrency analysis: lock-order cycles, "
+            "blocking-under-lock, guarded-attribute atomicity, and "
+            "ambient-context propagation across thread boundaries."
+        ),
+    )
+    add_conc_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,425 @@
+"""Interprocedural lock simulation and the ``conc-lock-order`` rule.
+
+Every project function is walked as a potential entry point with an
+empty held-lock set; ``with <lock>:`` statements extend the set
+lexically, and calls made while holding locks are followed into their
+resolved targets (memoized on ``(function, held set)`` so the walk
+terminates).  The walk records three artifacts shared by the rules:
+
+* **lock-order edges** — lock A held while lock B was acquired, with
+  the full acquisition trail (function hops and call sites),
+* **under-lock calls** — calls made while holding at least one lock
+  *acquired lexically in the reporting function* (so findings anchor
+  at the actionable site, not deep inside callees),
+* **static call edges** — the plain call graph, used for the
+  transitive-blocking fixpoint and the witness cross-check.
+
+``conc-lock-order`` then reports every cycle in the lock-order graph
+as a potential deadlock, and every non-reentrant lock re-acquired
+while already held as a guaranteed self-deadlock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.tools.conc.callgraph import FunctionInfo, ProgramIndex
+from repro.tools.conc.model import LockEdge, LockId
+from repro.tools.lint.model import Finding, SourceFile
+
+__all__ = [
+    "LockSimResult",
+    "UnderLockCall",
+    "simulate",
+    "check_lock_order",
+    "calls_in",
+    "direct_blocking_reason",
+]
+
+
+@dataclass
+class UnderLockCall:
+    """One call made while at least one lock was held."""
+
+    caller: FunctionInfo
+    call: ast.Call
+    line: int
+    held: tuple[LockId, ...]
+    trail: tuple[str, ...]
+    #: Resolved project callees (empty for a syntactically blocking call).
+    targets: tuple[FunctionInfo, ...] = ()
+    #: Why the call blocks, when it is *directly* blocking.
+    blocking_reason: str | None = None
+
+
+@dataclass
+class LockSimResult:
+    """Everything one simulation run produced."""
+
+    #: (held qualname, acquired qualname) -> first edge witnessed.
+    edges: dict[tuple[str, str], LockEdge] = field(default_factory=dict)
+    #: Non-reentrant lock re-acquired while held (self-deadlock).
+    self_edges: list[LockEdge] = field(default_factory=list)
+    under_lock_calls: list[UnderLockCall] = field(default_factory=list)
+    #: Plain call graph: caller key -> callee keys.
+    call_edges: dict[str, set[str]] = field(default_factory=dict)
+    locks: dict[str, LockId] = field(default_factory=dict)
+
+
+def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Call expressions in ``node``, without descending into nested
+    function/class/lambda bodies (those run when called, not here)."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def direct_blocking_reason(
+    index: ProgramIndex,
+    func: FunctionInfo,
+    env: dict[str, str],
+    call: ast.Call,
+) -> tuple[str | None, LockId | None]:
+    """(reason, waited lock) when this call is syntactically blocking.
+
+    The second element is the lock a ``<cond>.wait()`` call releases
+    while waiting — holding *only* that lock during the wait is the
+    designed use of a condition variable, not a hazard.
+    """
+    config = index.config
+    target = call.func
+    if isinstance(target, ast.Name):
+        sym = index._sym_imports.get(func.module, {}).get(target.id)
+        if sym is not None and sym in config.blocking_module_calls:
+            return f"{sym[0]}.{sym[1]}() blocks", None
+        if target.id == "open":
+            return "open() performs file I/O", None
+        return None, None
+    if not isinstance(target, ast.Attribute):
+        return None, None
+    receiver = target.value
+    if isinstance(receiver, ast.Name):
+        module = index._mod_imports.get(func.module, {}).get(receiver.id)
+        if module is not None and (module, target.attr) in config.blocking_module_calls:
+            return f"{module}.{target.attr}() blocks", None
+    if isinstance(receiver, ast.Constant) and isinstance(receiver.value, str):
+        return None, None  # ", ".join(...) and friends
+    name = target.attr
+    if name == "join" and not call.args:
+        return ".join() waits for a thread", None
+    if name in config.blocking_attr_calls:
+        waited = None
+        if name == "wait":
+            waited = index.lock_for_expr(receiver, func, env)
+        return f".{name}() blocks the calling thread", waited
+    return None, None
+
+
+class LockSimulator:
+    """The interprocedural walk (one instance per analysis run)."""
+
+    def __init__(self, index: ProgramIndex) -> None:
+        self.index = index
+        self.result = LockSimResult()
+        self._visited: set[tuple[str, frozenset[str]]] = set()
+
+    def run(self) -> LockSimResult:
+        for lock in self.index.all_locks():
+            self.result.locks[lock.qualname] = lock
+        for func in self.index.functions.values():
+            self._walk(func, (), (func.display,), 0)
+        return self.result
+
+    # -- the walk -----------------------------------------------------------
+
+    def _walk(
+        self,
+        func: FunctionInfo,
+        held: tuple[LockId, ...],
+        trail: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        state = (func.key, frozenset(lock.qualname for lock in held))
+        if state in self._visited or depth > self.index.config.max_call_depth:
+            return
+        self._visited.add(state)
+        env = self.index.env_for(func)
+        self._walk_body(func.node.body, func, env, held, (), trail, depth)
+
+    def _walk_body(
+        self,
+        stmts: list[ast.stmt],
+        func: FunctionInfo,
+        env: dict[str, str],
+        held: tuple[LockId, ...],
+        local: tuple[LockId, ...],
+        trail: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current_held, current_local = held, local
+                for item in stmt.items:
+                    self._visit_calls(
+                        item.context_expr, func, env, current_held, current_local,
+                        trail, depth,
+                    )
+                    lock = self.index.lock_for_expr(item.context_expr, func, env)
+                    if lock is not None:
+                        before = current_held
+                        current_held = self._acquire(
+                            lock, current_held, func, item.context_expr.lineno, trail
+                        )
+                        if current_held is not before:
+                            current_local = current_local + (lock,)
+                self._walk_body(
+                    stmt.body, func, env, current_held, current_local, trail, depth
+                )
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            elif isinstance(stmt, ast.If):
+                self._visit_calls(stmt.test, func, env, held, local, trail, depth)
+                self._walk_body(stmt.body, func, env, held, local, trail, depth)
+                self._walk_body(stmt.orelse, func, env, held, local, trail, depth)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._visit_calls(stmt.iter, func, env, held, local, trail, depth)
+                self._walk_body(stmt.body, func, env, held, local, trail, depth)
+                self._walk_body(stmt.orelse, func, env, held, local, trail, depth)
+            elif isinstance(stmt, ast.While):
+                self._visit_calls(stmt.test, func, env, held, local, trail, depth)
+                self._walk_body(stmt.body, func, env, held, local, trail, depth)
+                self._walk_body(stmt.orelse, func, env, held, local, trail, depth)
+            elif isinstance(stmt, ast.Try):
+                self._walk_body(stmt.body, func, env, held, local, trail, depth)
+                for handler in stmt.handlers:
+                    self._walk_body(handler.body, func, env, held, local, trail, depth)
+                self._walk_body(stmt.orelse, func, env, held, local, trail, depth)
+                self._walk_body(stmt.finalbody, func, env, held, local, trail, depth)
+            else:
+                self._visit_calls(stmt, func, env, held, local, trail, depth)
+
+    def _acquire(
+        self,
+        lock: LockId,
+        held: tuple[LockId, ...],
+        func: FunctionInfo,
+        line: int,
+        trail: tuple[str, ...],
+    ) -> tuple[LockId, ...]:
+        if any(entry.qualname == lock.qualname for entry in held):
+            if lock.kind == "Lock":
+                self.result.self_edges.append(
+                    LockEdge(
+                        held=lock,
+                        acquired=lock,
+                        path=func.source.rel_path,
+                        line=line,
+                        trail=trail
+                        + (
+                            f"re-acquires {lock.short} at "
+                            f"{func.source.rel_path}:{line}",
+                        ),
+                    )
+                )
+            return held
+        full_trail = trail + (
+            f"acquires {lock.short} at {func.source.rel_path}:{line}",
+        )
+        for entry in held:
+            self.result.edges.setdefault(
+                (entry.qualname, lock.qualname),
+                LockEdge(
+                    held=entry,
+                    acquired=lock,
+                    path=func.source.rel_path,
+                    line=line,
+                    trail=full_trail,
+                ),
+            )
+        return held + (lock,)
+
+    def _visit_calls(
+        self,
+        node: ast.AST,
+        func: FunctionInfo,
+        env: dict[str, str],
+        held: tuple[LockId, ...],
+        local: tuple[LockId, ...],
+        trail: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        for call in calls_in(node):
+            targets = self.index.resolve_call_targets(
+                call, func.module, env, func.cls_key, caller=func
+            )
+            if targets:
+                callees = self.result.call_edges.setdefault(func.key, set())
+                for target in targets:
+                    callees.add(target.key)
+                if local:
+                    # Report at this site: the lock is held lexically
+                    # here, so this is where a fix would land.
+                    self.result.under_lock_calls.append(
+                        UnderLockCall(
+                            caller=func,
+                            call=call,
+                            line=call.lineno,
+                            held=held,
+                            trail=trail,
+                            targets=tuple(targets),
+                        )
+                    )
+                if held:
+                    for target in targets:
+                        hop = (
+                            f"calls {target.display} at "
+                            f"{func.source.rel_path}:{call.lineno}"
+                        )
+                        self._walk(target, held, trail + (hop,), depth + 1)
+                continue
+            if not local:
+                continue
+            reason, waited = direct_blocking_reason(self.index, func, env, call)
+            if reason is None:
+                continue
+            effective = held
+            if waited is not None:
+                effective = tuple(
+                    lock for lock in held if lock.qualname != waited.qualname
+                )
+            if effective:
+                self.result.under_lock_calls.append(
+                    UnderLockCall(
+                        caller=func,
+                        call=call,
+                        line=call.lineno,
+                        held=effective,
+                        trail=trail,
+                        blocking_reason=reason,
+                    )
+                )
+
+
+def simulate(index: ProgramIndex) -> LockSimResult:
+    return LockSimulator(index).run()
+
+
+# -- the conc-lock-order rule -----------------------------------------------
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs, iterative; only components containing a cycle return."""
+    counter = 0
+    indices: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in indices:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(graph.get(root, ()))))
+        ]
+        indices[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in indices:
+                    indices[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == indices[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    components.append(sorted(component))
+    return components
+
+
+def check_lock_order(
+    sim: LockSimResult, sources_by_path: dict[str, SourceFile]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    graph: dict[str, set[str]] = {}
+    for held, acquired in sim.edges:
+        graph.setdefault(held, set()).add(acquired)
+        graph.setdefault(acquired, set())
+    for component in _strongly_connected(graph):
+        member_edges = sorted(
+            (
+                edge
+                for pair, edge in sim.edges.items()
+                if pair[0] in component and pair[1] in component
+            ),
+            key=lambda edge: (edge.path, edge.line),
+        )
+        if not member_edges:
+            continue
+        anchor = member_edges[0]
+        cycle_names = " -> ".join(
+            sim.locks[name].short if name in sim.locks else name
+            for name in component + [component[0]]
+        )
+        detail = "; ".join(edge.describe() for edge in member_edges)
+        findings.append(
+            _finding_at(
+                sources_by_path,
+                anchor.path,
+                anchor.line,
+                f"potential deadlock: lock-order cycle {cycle_names} [{detail}]",
+            )
+        )
+    for edge in sim.self_edges:
+        findings.append(
+            _finding_at(
+                sources_by_path,
+                edge.path,
+                edge.line,
+                f"self-deadlock: non-reentrant {edge.held.short} re-acquired "
+                f"while already held ({' -> '.join(edge.trail)})",
+            )
+        )
+    return findings
+
+
+def _finding_at(
+    sources_by_path: dict[str, SourceFile], path: str, line: int, message: str
+) -> Finding:
+    source = sources_by_path.get(path)
+    if source is not None:
+        return source.finding("conc-lock-order", line, message)
+    return Finding(rule="conc-lock-order", path=path, line=line, message=message)

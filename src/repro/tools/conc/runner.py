@@ -1,0 +1,147 @@
+"""Run the concurrency rules over a package tree and aggregate the report.
+
+Mirrors :mod:`repro.tools.lint.runner` deliberately: the same source
+collection, the same ``# lint: allow[rule]`` suppression comments, and
+the same baseline file (fingerprints are rule-prefixed, so lint and
+conc entries coexist in one ``lint-baseline.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.tools.conc.atomicity import check_atomicity
+from repro.tools.conc.blocking import check_blocking
+from repro.tools.conc.callgraph import ProgramIndex, build_index
+from repro.tools.conc.context import check_context
+from repro.tools.conc.lockorder import LockSimResult, check_lock_order, simulate
+from repro.tools.conc.model import ConcConfig
+from repro.tools.conc.witnesscheck import cross_check, dump_graph, load_witness
+from repro.tools.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    stale_fingerprints,
+)
+from repro.tools.lint.model import Finding, collect_source_files
+from repro.tools.lint.runner import default_package_root
+
+__all__ = ["CONC_RULES", "ConcReport", "run_conc"]
+
+#: Selectable rule families.  Each may emit several rule ids (the
+#: witness cross-check adds ``conc-witness-*`` when an artifact is
+#: supplied).
+CONC_RULES: tuple[str, ...] = ("lock-order", "blocking", "atomicity", "context")
+
+#: Fingerprints starting with this prefix belong to the conc suite;
+#: everything else in the shared baseline belongs to lint.
+RULE_PREFIX = "conc-"
+
+
+@dataclass
+class ConcReport:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Non-failing diagnostics (witness blind spots).
+    warnings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_scanned: int = 0
+    lock_count: int = 0
+    edge_count: int = 0
+    #: Baseline fingerprints owned by this suite that no live finding
+    #: consumed — stale entries that should be pruned.
+    stale_baseline: list[str] = field(default_factory=list)
+    #: The static lock-order graph, for ``--dump-graph`` and tests.
+    graph: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "locks": self.lock_count,
+            "lock_order_edges": self.edge_count,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
+            "findings": [finding.to_json() for finding in self.findings],
+            "warnings": [finding.to_json() for finding in self.warnings],
+        }
+
+
+def run_conc(
+    package_root: Path | None = None,
+    config: ConcConfig | None = None,
+    baseline_path: Path | None = None,
+    rules: list[str] | None = None,
+    witness_path: Path | None = None,
+    strict_witness: bool = False,
+) -> ConcReport:
+    """Run the suite; findings surviving suppression + baseline fail."""
+    root = package_root if package_root is not None else default_package_root()
+    cfg = config if config is not None else ConcConfig()
+    sources = list(collect_source_files(root, cfg.top_package))
+    by_path = {source.rel_path: source for source in sources}
+
+    index = build_index(sources, cfg, root)
+    sim: LockSimResult = simulate(index)
+
+    selected = CONC_RULES if rules is None else tuple(rules)
+    raw: list[Finding] = []
+    if "lock-order" in selected:
+        raw.extend(check_lock_order(sim, by_path))
+    if "blocking" in selected:
+        raw.extend(check_blocking(index, sim, by_path))
+    if "atomicity" in selected:
+        raw.extend(check_atomicity(sources))
+    if "context" in selected:
+        raw.extend(check_context(index, by_path))
+
+    report = ConcReport(
+        files_scanned=len(sources),
+        lock_count=len(sim.locks),
+        edge_count=len(sim.edges),
+        graph=dump_graph(index, sim),
+    )
+
+    if witness_path is not None:
+        witnessed, blind_spots = cross_check(sim, load_witness(witness_path))
+        raw.extend(witnessed)
+        if strict_witness:
+            raw.extend(blind_spots)
+        else:
+            report.warnings = sorted(
+                blind_spots, key=lambda f: (f.path, f.line, f.rule)
+            )
+
+    unsuppressed: list[Finding] = []
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            report.suppressed += 1
+        else:
+            unsuppressed.append(finding)
+
+    allowed = load_baseline(baseline_path) if baseline_path else None
+    if allowed:
+        fresh, baselined = apply_baseline(unsuppressed, allowed)
+        report.findings = fresh
+        report.baselined = baselined
+        if rules is None:
+            # Stale detection needs the full rule set: with a subset
+            # selected, unmatched entries are merely un-run, not stale.
+            report.stale_baseline = stale_fingerprints(
+                unsuppressed,
+                allowed,
+                lambda fingerprint: fingerprint.startswith(RULE_PREFIX),
+            )
+    else:
+        report.findings = unsuppressed
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

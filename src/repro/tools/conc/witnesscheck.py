@@ -1,0 +1,181 @@
+"""Cross-check the static lock-order graph against a runtime witness.
+
+:mod:`repro.testing.lockwitness` records the acquisition-order graph
+actually observed while the stress suite runs, keyed by lock *creation
+site* (``file:line`` of the ``threading.Lock()`` call) — exactly the
+site the static index records for every lock it discovers, so the two
+graphs join without any shared registry.
+
+The protocol:
+
+* a witnessed edge whose **reverse** is the only statically known
+  order is a ``conc-witness-contradiction`` — either the static model
+  is stale or the tree really acquires in both orders (deadlock risk);
+  it fails the build,
+* an inversion the witness itself observed (both orders at runtime)
+  is a ``conc-witness-inversion`` and fails the build,
+* a witnessed edge the static graph knows nothing about is a
+  ``conc-witness-blindspot`` **warning** — the call graph could not
+  see that path (dynamic dispatch, callbacks); warnings do not fail
+  unless ``--strict-witness`` promotes them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.tools.conc.callgraph import ProgramIndex
+from repro.tools.conc.lockorder import LockSimResult
+from repro.tools.conc.model import LockId
+from repro.tools.lint.model import Finding
+
+__all__ = ["dump_graph", "cross_check", "load_witness"]
+
+GRAPH_VERSION = 1
+
+
+def dump_graph(index: ProgramIndex, sim: LockSimResult) -> dict[str, object]:
+    """The static lock-order graph as a JSON-ready document."""
+    return {
+        "version": GRAPH_VERSION,
+        "locks": {
+            lock.qualname: {
+                "site": lock.site_key,
+                "kind": lock.kind,
+            }
+            for lock in sorted(sim.locks.values(), key=lambda l: l.qualname)
+        },
+        "edges": [
+            {
+                "held": edge.held.qualname,
+                "acquired": edge.acquired.qualname,
+                "path": edge.path,
+                "line": edge.line,
+                "trail": list(edge.trail),
+            }
+            for _, edge in sorted(sim.edges.items())
+        ],
+    }
+
+
+def load_witness(path: Path) -> dict[str, object]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != 1:
+        raise ValueError(f"unsupported lock-witness artifact version {version!r}")
+    return payload
+
+
+def _site_index(sim: LockSimResult) -> dict[tuple[str, int], LockId]:
+    return {(lock.path, lock.line): lock for lock in sim.locks.values()}
+
+
+def _map_site(
+    sites: dict[tuple[str, int], LockId], witness_lock: dict[str, object]
+) -> LockId | None:
+    """Witness locks carry absolute paths; static sites are relative to
+    the package root — join on (path suffix, line)."""
+    path = str(witness_lock.get("path", ""))
+    line = int(witness_lock.get("line", 0))
+    normalized = path.replace("\\", "/")
+    for (rel_path, rel_line), lock in sites.items():
+        if rel_line == line and (
+            normalized.endswith("/" + rel_path) or normalized == rel_path
+        ):
+            return lock
+    return None
+
+
+def cross_check(
+    sim: LockSimResult, witness: dict[str, object]
+) -> tuple[list[Finding], list[Finding]]:
+    """(failing findings, warnings) from one witness artifact."""
+    failing: list[Finding] = []
+    warnings: list[Finding] = []
+    sites = _site_index(sim)
+    witness_locks = witness.get("locks", {})
+    if not isinstance(witness_locks, dict):
+        witness_locks = {}
+    mapped: dict[str, LockId | None] = {
+        key: _map_site(sites, value)
+        for key, value in witness_locks.items()
+        if isinstance(value, dict)
+    }
+    static_pairs = set(sim.edges)
+
+    for inversion in witness.get("inversions", []) or []:
+        if not isinstance(inversion, dict):
+            continue
+        a = mapped.get(str(inversion.get("a", "")))
+        b = mapped.get(str(inversion.get("b", "")))
+        a_name = a.short if a is not None else str(inversion.get("a", "?"))
+        b_name = b.short if b is not None else str(inversion.get("b", "?"))
+        anchor = a if a is not None else b
+        failing.append(
+            Finding(
+                rule="conc-witness-inversion",
+                path=anchor.path if anchor is not None else "<witness>",
+                line=anchor.line if anchor is not None else 0,
+                message=(
+                    f"runtime lock-order inversion witnessed: {a_name} and "
+                    f"{b_name} were each acquired while the other was held"
+                ),
+            )
+        )
+
+    for raw_edge in witness.get("edges", []) or []:
+        if not isinstance(raw_edge, dict):
+            continue
+        from_key = str(raw_edge.get("from", ""))
+        to_key = str(raw_edge.get("to", ""))
+        a = mapped.get(from_key)
+        b = mapped.get(to_key)
+        if a is None or b is None:
+            held_desc = from_key if a is None else a.short
+            acq_desc = to_key if b is None else b.short
+            warnings.append(
+                Finding(
+                    rule="conc-witness-blindspot",
+                    path=a.path if a is not None else "<witness>",
+                    line=a.line if a is not None else 0,
+                    message=(
+                        f"witnessed acquisition {held_desc} -> {acq_desc} "
+                        f"involves a lock the static index never discovered"
+                    ),
+                )
+            )
+            continue
+        pair = (a.qualname, b.qualname)
+        if pair in static_pairs:
+            continue  # corroborated
+        if (pair[1], pair[0]) in static_pairs:
+            reverse = sim.edges[(pair[1], pair[0])]
+            failing.append(
+                Finding(
+                    rule="conc-witness-contradiction",
+                    path=a.path,
+                    line=a.line,
+                    message=(
+                        f"runtime witnessed {a.short} held while acquiring "
+                        f"{b.short}, but the static graph only knows the "
+                        f"opposite order ({reverse.describe()}) — both "
+                        f"orders exist, which is a deadlock waiting for the "
+                        f"right interleaving"
+                    ),
+                )
+            )
+        else:
+            warnings.append(
+                Finding(
+                    rule="conc-witness-blindspot",
+                    path=a.path,
+                    line=a.line,
+                    message=(
+                        f"witnessed acquisition {a.short} -> {b.short} is "
+                        f"absent from the static lock-order graph: the call "
+                        f"graph has a blind spot on that path"
+                    ),
+                )
+            )
+    return failing, warnings

@@ -14,15 +14,23 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
+from typing import Callable
 
 from repro.tools.lint.model import Finding
 
-__all__ = ["load_baseline", "write_baseline", "apply_baseline", "BASELINE_VERSION"]
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "prune_baseline_file",
+    "stale_fingerprints",
+    "BASELINE_VERSION",
+]
 
 BASELINE_VERSION = 1
 
 
-def load_baseline(path: Path) -> Counter:
+def load_baseline(path: Path) -> Counter[str]:
     """Fingerprint -> allowed count.  A missing file is an empty baseline."""
     if not path.exists():
         return Counter()
@@ -32,7 +40,7 @@ def load_baseline(path: Path) -> Counter:
             f"unsupported lint baseline version {payload.get('version')!r} "
             f"in {path}"
         )
-    allowed: Counter = Counter()
+    allowed: Counter[str] = Counter()
     for entry in payload.get("findings", []):
         fingerprint = (
             f"{entry['rule']}::{entry['path']}::{entry.get('context', '')}"
@@ -42,12 +50,12 @@ def load_baseline(path: Path) -> Counter:
 
 
 def write_baseline(path: Path, findings: list[Finding]) -> None:
-    counted: Counter = Counter(f.fingerprint for f in findings)
+    counted: Counter[str] = Counter(f.fingerprint for f in findings)
     by_fingerprint = {f.fingerprint: f for f in findings}
     entries = []
     for fingerprint in sorted(counted):
         finding = by_fingerprint[fingerprint]
-        entry: dict = {
+        entry: dict[str, object] = {
             "rule": finding.rule,
             "path": finding.path,
             "context": finding.context,
@@ -62,7 +70,7 @@ def write_baseline(path: Path, findings: list[Finding]) -> None:
 
 
 def apply_baseline(
-    findings: list[Finding], allowed: Counter
+    findings: list[Finding], allowed: Counter[str]
 ) -> tuple[list[Finding], int]:
     """Split findings into (fresh, baselined-count)."""
     budget = Counter(allowed)
@@ -75,3 +83,65 @@ def apply_baseline(
         else:
             fresh.append(finding)
     return fresh, baselined
+
+
+def prune_baseline_file(path: Path, live: Counter[str]) -> list[str]:
+    """Drop entries no live finding consumes; returns dropped fingerprints.
+
+    ``live`` must cover *every* suite sharing the file (lint and conc),
+    computed without a baseline, so an entry is only dropped when
+    nothing anywhere still needs it.  Counts are capped at the live
+    count, so a partially fixed multi-entry shrinks instead of
+    lingering at its old budget.
+    """
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    kept = []
+    dropped: list[str] = []
+    for entry in payload.get("findings", []):
+        fingerprint = (
+            f"{entry['rule']}::{entry['path']}::{entry.get('context', '')}"
+        )
+        remaining = live.get(fingerprint, 0)
+        if remaining <= 0:
+            dropped.append(fingerprint)
+            continue
+        count = int(entry.get("count", 1))
+        if count > remaining:
+            entry = dict(entry)
+            if remaining > 1:
+                entry["count"] = remaining
+            else:
+                entry.pop("count", None)
+        kept.append(entry)
+    payload["findings"] = kept
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sorted(dropped)
+
+
+def stale_fingerprints(
+    findings: list[Finding],
+    allowed: Counter[str],
+    owns: Callable[[str], bool],
+) -> list[str]:
+    """Baseline fingerprints with unconsumed budget.
+
+    The lint and conc suites share one baseline file, so each suite
+    only judges the entries it *owns* (``owns`` filters by fingerprint
+    prefix) — otherwise every lint run would call conc entries stale
+    and vice versa.
+    """
+    consumed = Counter(f.fingerprint for f in findings)
+    return sorted(
+        fingerprint
+        for fingerprint, budget in allowed.items()
+        if owns(fingerprint) and consumed.get(fingerprint, 0) < budget
+    )

@@ -6,11 +6,42 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.tools.lint.baseline import write_baseline
+from repro.tools.lint.baseline import prune_baseline_file, write_baseline
+from repro.tools.lint.model import LintConfig
 from repro.tools.lint.runner import RULES, default_package_root, run_lint
 
-__all__ = ["main", "add_lint_arguments", "run_from_args"]
+if TYPE_CHECKING:
+    from repro.tools.conc.model import ConcConfig
+
+__all__ = ["main", "add_lint_arguments", "run_from_args", "prune_baseline"]
+
+
+def prune_baseline(
+    target: Path,
+    package_root: Path | None,
+    lint_config: LintConfig | None = None,
+    conc_config: "ConcConfig | None" = None,
+) -> list[str]:
+    """Prune entries of the shared baseline against BOTH suites' live
+    findings (baseline-free runs), so a lint prune never drops a conc
+    entry that is still needed and vice versa."""
+    from collections import Counter
+
+    from repro.tools.conc.runner import run_conc
+
+    lint_report = run_lint(
+        package_root=package_root, config=lint_config, baseline_path=None
+    )
+    conc_report = run_conc(
+        package_root=package_root, config=conc_config, baseline_path=None
+    )
+    live: Counter[str] = Counter(
+        finding.fingerprint
+        for finding in lint_report.findings + conc_report.findings
+    )
+    return prune_baseline_file(target, live)
 
 
 def default_baseline_path() -> Path:
@@ -48,6 +79,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="rewrite the baseline from current findings and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "drop baseline entries no live finding consumes (runs both "
+            "the lint and conc suites so shared entries survive) and exit"
+        ),
+    )
+    parser.add_argument(
         "--rules",
         default=None,
         help=f"comma-separated rule subset (known: {', '.join(sorted(RULES))})",
@@ -73,6 +112,19 @@ def run_from_args(args: argparse.Namespace) -> int:
             )
             return 2
     package_root = Path(args.lint_root) if args.lint_root else None
+    if args.prune_baseline:
+        target = (
+            Path(args.baseline) if args.baseline else default_baseline_path()
+        )
+        dropped = prune_baseline(target, package_root)
+        if dropped:
+            for fingerprint in dropped:
+                print(f"pruned stale baseline entry: {fingerprint}")
+        print(
+            f"pruned {len(dropped)} stale entr"
+            f"{'y' if len(dropped) == 1 else 'ies'} from {target}"
+        )
+        return 0
     baseline = (
         None
         if args.no_baseline or args.write_baseline
@@ -102,6 +154,11 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(
                 f"{finding.path}:{finding.line}: [{finding.rule}] "
                 f"{finding.message}"
+            )
+        for fingerprint in report.stale_baseline:
+            print(
+                f"warning: stale baseline entry (no live finding matches, "
+                f"run --prune-baseline): {fingerprint}"
             )
         summary = (
             f"{len(report.findings)} finding(s) in {report.files_scanned} "

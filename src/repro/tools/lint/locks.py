@@ -22,7 +22,13 @@ from typing import Iterator
 
 from repro.tools.lint.model import Finding, LintConfig, SourceFile
 
-__all__ = ["check_locks", "MUTATING_METHODS"]
+__all__ = [
+    "check_locks",
+    "guarded_attributes",
+    "mutated_attrs",
+    "self_attribute",
+    "MUTATING_METHODS",
+]
 
 #: Method names treated as in-place mutation of the receiver.
 MUTATING_METHODS = frozenset(
@@ -188,6 +194,14 @@ def _check_statements(
                 _check_statements(source, cls, child_body, guarded, held)
             )
     return findings
+
+
+# Public aliases: the concurrency analyzer (repro.tools.conc) shares
+# the ``# guarded-by:`` convention and the mutation model with this
+# rule rather than re-deriving them.
+guarded_attributes = _guarded_attributes
+mutated_attrs = _mutated_attrs
+self_attribute = _self_attribute
 
 
 def _nested_bodies(node: ast.stmt) -> Iterator[list[ast.stmt]]:

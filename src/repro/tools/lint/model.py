@@ -78,7 +78,7 @@ class Finding:
     def fingerprint(self) -> str:
         return f"{self.rule}::{self.path}::{self.context}"
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         return {
             "rule": self.rule,
             "path": self.path,

@@ -6,7 +6,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.tools.lint.baseline import apply_baseline, load_baseline
+from repro.tools.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    stale_fingerprints,
+)
 from repro.tools.lint.cubeschema import check_cube_order, check_metric_names
 from repro.tools.lint.hygiene import (
     check_broad_except,
@@ -49,17 +53,22 @@ class LintReport:
     suppressed: int = 0
     baselined: int = 0
     files_scanned: int = 0
+    #: Lint-owned baseline fingerprints no live finding consumed —
+    #: stale entries ``--prune-baseline`` would drop.  (Entries for the
+    #: conc suite, which shares the file, are never judged here.)
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         return {
             "ok": self.ok,
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
             "findings": [finding.to_json() for finding in self.findings],
         }
 
@@ -102,6 +111,14 @@ def run_lint(
         fresh, baselined = apply_baseline(unsuppressed, allowed)
         report.findings = fresh
         report.baselined = baselined
+        if rules is None:
+            # Stale detection needs the full rule set: with a subset
+            # selected, unmatched entries are merely un-run, not stale.
+            report.stale_baseline = stale_fingerprints(
+                unsuppressed,
+                allowed,
+                lambda fingerprint: not fingerprint.startswith("conc-"),
+            )
     else:
         report.findings = unsuppressed
 

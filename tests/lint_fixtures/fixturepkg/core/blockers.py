@@ -1,0 +1,34 @@
+"""Fixture: blocking calls under a held lock, direct and transitive.
+
+``flush_direct`` sleeps inside the critical section; ``flush_transitive``
+calls a helper that sleeps (the analyzer must follow the call graph to
+see it).  ``flush_safely`` does the blocking work *before* taking the
+lock and must not be flagged.
+"""
+
+import threading
+import time
+
+
+class SnapshotWriter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots = 0
+
+    def flush_direct(self) -> None:
+        with self._lock:
+            time.sleep(0.001)  # blocking while holding _lock
+            self._snapshots += 1
+
+    def flush_transitive(self) -> None:
+        with self._lock:
+            self._drain()  # transitively reaches time.sleep
+            self._snapshots += 1
+
+    def _drain(self) -> None:
+        time.sleep(0.001)
+
+    def flush_safely(self) -> None:
+        self._drain()  # blocking done before the lock: must NOT be flagged
+        with self._lock:
+            self._snapshots += 1

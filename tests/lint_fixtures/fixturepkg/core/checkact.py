@@ -1,0 +1,40 @@
+"""Fixture: atomicity violations on a ``# guarded-by:`` attribute.
+
+``bump_racy`` reads the guarded map outside the lock and writes the
+stale value back inside it (check-then-act); ``drain_racy`` reads under
+the lock, releases it, and writes the derived value under a *second*
+acquisition (read-modify-write across a release).  ``bump_safe`` does
+the whole sequence under one acquisition and ``refresh_double_checked``
+re-validates inside the critical section — neither may be flagged.
+"""
+
+import threading
+
+
+class TallyBoard:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}  # guarded-by: _lock
+
+    def bump_racy(self, key: str) -> None:
+        current = self._counts.get(key, 0)  # stale the moment it's read
+        with self._lock:
+            self._counts[key] = current + 1
+
+    def drain_racy(self, key: str) -> None:
+        with self._lock:
+            pending = self._counts.get(key, 0)
+        with self._lock:
+            self._counts[key] = pending - 1
+
+    def bump_safe(self, key: str) -> None:
+        with self._lock:
+            current = self._counts.get(key, 0)
+            self._counts[key] = current + 1
+
+    def refresh_double_checked(self, key: str, value: int) -> None:
+        if key not in self._counts:
+            return
+        with self._lock:
+            if key in self._counts:  # re-validated under the lock
+                self._counts[key] = value

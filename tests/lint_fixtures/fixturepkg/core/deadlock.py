@@ -1,0 +1,39 @@
+"""Fixture: a lock-order cycle plus a non-reentrant self-deadlock.
+
+``credit`` acquires the audit lock *through a method call* while
+holding the ledger lock (the interprocedural edge the analyzer must
+resolve); ``audit`` nests the same two locks in the opposite order,
+closing the cycle.  ``reenter`` re-acquires a non-reentrant lock it
+already holds, again through a call.
+"""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._ledger_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+        self._entries: list[int] = []
+
+    def credit(self, amount: int) -> None:
+        with self._ledger_lock:
+            self._entries.append(amount)
+            self._record()  # acquires _audit_lock under _ledger_lock
+
+    def _record(self) -> None:
+        with self._audit_lock:
+            self._entries.append(0)
+
+    def audit(self) -> int:
+        with self._audit_lock:
+            with self._ledger_lock:  # reverse nesting: closes the cycle
+                return len(self._entries)
+
+    def reenter(self) -> None:
+        with self._ledger_lock:
+            self._helper()
+
+    def _helper(self) -> None:
+        with self._ledger_lock:  # non-reentrant re-acquire: self-deadlock
+            self._entries.clear()

@@ -1,0 +1,73 @@
+"""Fixture: thread boundaries that drop (and ones that carry) ambient
+context.
+
+``submit_racy`` and ``start_worker_racy`` hand work to another thread
+without capturing the ambient span/deadline.  ``submit_safe`` captures
+both and passes them as arguments; ``start_worker_safe`` targets a
+worker that re-attaches inside itself.  Only the racy pair may be
+flagged.
+
+The capture/attach helpers are local stand-ins for
+``repro.obs.span`` / ``repro.core.deadline`` — the rule matches the
+hand-off *shape* by name, and the fixture tree never imports repro.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def current_span() -> object | None:
+    return None
+
+
+def current_deadline() -> object | None:
+    return None
+
+
+def set_ambient(span: object | None) -> object | None:
+    return span
+
+
+class deadline_scope:
+    def __init__(self, deadline: object | None) -> None:
+        self.deadline = deadline
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class PoolUser:
+    def __init__(self) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=2)
+
+    def submit_racy(self, key: str):
+        return self._pool.submit(self._run, None, None, key)
+
+    def submit_safe(self, key: str):
+        span = current_span()
+        deadline = current_deadline()
+        return self._pool.submit(self._run, span, deadline, key)
+
+    def _run(self, span: object | None, deadline: object | None, key: str) -> str:
+        return key
+
+    def start_worker_racy(self) -> threading.Thread:
+        worker = threading.Thread(target=self._plain)
+        worker.start()
+        return worker
+
+    def start_worker_safe(self) -> threading.Thread:
+        worker = threading.Thread(target=self._attached)
+        worker.start()
+        return worker
+
+    def _plain(self) -> None:
+        return None
+
+    def _attached(self) -> None:
+        set_ambient(current_span())
+        with deadline_scope(None):
+            return None

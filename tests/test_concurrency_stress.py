@@ -3,13 +3,17 @@ through one system, plus single-flight dedup asserted on disk counters."""
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from datetime import date
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.core.executor import QueryExecutor
+from repro.testing.lockwitness import LockWitness
 from repro.core.iosched import IOScheduler
 from repro.core.optimizer import FlatPlanner
 from repro.core.query import AnalysisQuery
@@ -20,6 +24,27 @@ from repro.system import RasedSystem, SystemConfig
 from tests.test_iosched import make_small_index
 
 pytestmark = pytest.mark.stress
+
+
+@pytest.fixture(scope="module", autouse=True)
+def lock_witness():
+    """Every stress test runs under the runtime lock-order witness.
+
+    An observed inversion (two project locks acquired in both orders)
+    fails the module even if no deadlock happened to trigger.  When
+    ``RASED_LOCK_WITNESS`` names a path, the witnessed acquisition
+    graph is exported there for ``python -m repro.tools.conc
+    --witness`` to cross-check against the static lock-order graph.
+    """
+    scope = [Path(repro.__file__).resolve().parent]
+    with LockWitness(scope_paths=scope) as witness:
+        yield witness
+    artifact = os.environ.get("RASED_LOCK_WITNESS")
+    if artifact:
+        witness.write_artifact(Path(artifact))
+    inversions = witness.inversions
+    assert inversions == [], [entry.describe() for entry in inversions]
+
 
 JULY = date(2021, 7, 1)
 WINDOW = AnalysisQuery(

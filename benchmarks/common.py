@@ -30,9 +30,10 @@ from repro.core.executor import QueryExecutor
 from repro.core.hierarchy import HierarchicalIndex
 from repro.core.optimizer import FlatPlanner, LevelOptimizer
 from repro.core.query import AnalysisQuery
-from repro.collection.records import UpdateList, UpdateRecord
+from repro.collection.records import UpdateList
 from repro.obs import MetricsRegistry, get_registry
 from repro.storage.disk import InMemoryDisk
+from repro.synth.scale import scaled_day_updates
 from repro.synth.workload import QueryWorkload
 
 #: Where write_result_json drops benchmark outputs (.gitignore'd).
@@ -67,30 +68,20 @@ def make_schema() -> CubeSchema:
 def synthetic_day_updates(
     day: date, rng: random.Random, rows_per_day: int, schema: CubeSchema
 ) -> UpdateList:
-    """Fast-path UpdateList for one day (no OSM simulation)."""
-    updates = UpdateList()
-    road_values = schema.road_type.values[:-1]  # skip the catch-all
-    for i in range(rows_per_day):
-        country = rng.choices(BENCH_COUNTRIES, weights=_COUNTRY_WEIGHTS, k=1)[0]
-        updates.append(
-            UpdateRecord(
-                element_type=rng.choices(
-                    ("node", "way", "relation"), weights=(0.55, 0.43, 0.02), k=1
-                )[0],
-                date=day,
-                country=country,
-                latitude=rng.uniform(-50.0, 60.0),
-                longitude=rng.uniform(-150.0, 150.0),
-                road_type=rng.choice(road_values),
-                update_type=rng.choices(
-                    ("create", "geometry", "metadata", "delete"),
-                    weights=(0.45, 0.3, 0.2, 0.05),
-                    k=1,
-                )[0],
-                changeset_id=day.toordinal() * 1000 + i,
-            )
-        )
-    return updates
+    """Fast-path UpdateList for one day (no OSM simulation).
+
+    Delegates to the generalized scale-sweep generator with this
+    harness's reduced country list; the random call sequence (and thus
+    every committed snapshot) is unchanged.
+    """
+    return scaled_day_updates(
+        day,
+        rng,
+        schema,
+        rows_per_day,
+        countries=BENCH_COUNTRIES,
+        weights=_COUNTRY_WEIGHTS,
+    )
 
 
 def build_long_index(

@@ -31,7 +31,7 @@ the paper-vs-measured record of every reproduced table and figure.
 """
 
 from repro.core.calendar import Level, TemporalKey
-from repro.core.cube import DataCube
+from repro.core.cube import AnyCube, DataCube, SparseCube
 from repro.core.dimensions import CubeSchema, default_schema, paper_scale_schema
 from repro.core.query import AnalysisQuery, QueryResult, QueryStats
 from repro.dashboard.api import Dashboard
@@ -45,9 +45,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisQuery",
+    "AnyCube",
     "CubeSchema",
     "Dashboard",
     "DataCube",
+    "SparseCube",
     "Level",
     "MetricsRegistry",
     "QueryResult",

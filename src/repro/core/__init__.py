@@ -3,7 +3,7 @@
 from repro.core.cache import CacheManager, CacheRatios, DEFAULT_RATIOS
 from repro.core.contributors import Contributor, ContributorStats
 from repro.core.calendar import Level, TemporalKey, cover_range
-from repro.core.cube import DataCube, sum_cubes
+from repro.core.cube import AnyCube, DataCube, SparseCube, sum_cubes
 from repro.core.dimensions import CubeSchema, Dimension, default_schema
 from repro.core.executor import QueryExecutor
 from repro.core.hierarchy import HierarchicalIndex
@@ -14,9 +14,10 @@ from repro.core.stability import AnomalousDay, StabilityAnalyzer, StabilityMetri
 from repro.core.query import AnalysisQuery, QueryResult, QueryStats
 
 __all__ = [
-    "AnalysisQuery", "CacheManager", "CacheRatios", "Contributor",
+    "AnalysisQuery", "AnyCube", "CacheManager", "CacheRatios", "Contributor",
     "ContributorStats", "CubeSchema", "DEFAULT_RATIOS",
     "DataCube", "Dimension", "FlatPlanner", "HierarchicalIndex", "Level", "LiveMonitor",
+    "SparseCube",
     "LevelOptimizer", "AnomalousDay", "NetworkSizeRegistry", "QueryExecutor", "QueryPlan",
     "StabilityAnalyzer", "StabilityMetrics",
     "QueryResult", "QueryStats", "TemporalKey", "cover_range", "default_schema",

@@ -16,6 +16,15 @@ The paper's deployment uses N = 2 GB of cube slots with
 (α, β, γ, θ) = (0.4, 0.35, 0.2, 0.05); those are this module's
 defaults.  A small optional LRU overflow supports query-time admission
 (off by default, matching the paper's static policy).
+
+The cache has two capacity modes.  **Slot mode** (the default) counts
+cubes: every cube is assumed to cost one page, which is exact when
+cubes are uniformly dense.  **Byte mode** (``byte_budget=``) charges
+each cube its actual in-memory footprint (:attr:`DataCube.nbytes` /
+:attr:`SparseCube.nbytes`), so small sparse cubes multiply effective
+capacity — a near-empty daily costs ~16 bytes per populated cell
+instead of a full dense page.  The (α, β, γ, θ) ratios split either
+budget the same way.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.calendar import Level, TemporalKey
-from repro.core.cube import DataCube
+from repro.core.cube import AnyCube
 from repro.core.hierarchy import HierarchicalIndex
 from repro.errors import (
     ConfigError,
@@ -97,7 +106,7 @@ def slots_for_bytes(cache_bytes: int, schema) -> int:
 
 
 class CacheManager:
-    """Slot-based cube cache with the paper's recency preload policy."""
+    """Cube cache (slot- or byte-budgeted) with the recency preload policy."""
 
     def __init__(
         self,
@@ -106,11 +115,17 @@ class CacheManager:
         ratios: CacheRatios = DEFAULT_RATIOS,
         admit_on_miss: bool = False,
         metrics: MetricsRegistry | None = None,
+        byte_budget: int | None = None,
     ) -> None:
         if slots < 0:
             raise ConfigError("cache slots must be non-negative")
+        if byte_budget is not None and byte_budget < 0:
+            raise ConfigError("cache byte budget must be non-negative")
         self.index = index
         self.slots = slots
+        #: When set, capacity is measured in cube payload bytes rather
+        #: than slots; ``slots`` is ignored for eviction decisions.
+        self.byte_budget = byte_budget
         self.ratios = ratios
         self.admit_on_miss = admit_on_miss
         self.metrics = metrics if metrics is not None else get_registry()
@@ -119,7 +134,8 @@ class CacheManager:
         # ingestion pipeline (preload/refresh_key after maintenance
         # replaces cubes).  One lock serializes those mutations.
         self._lock = threading.Lock()
-        self._cubes: OrderedDict[TemporalKey, DataCube] = OrderedDict()  # guarded-by: _lock
+        self._cubes: OrderedDict[TemporalKey, AnyCube] = OrderedDict()  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
         self.hits = 0
         self.misses = 0
 
@@ -138,19 +154,44 @@ class CacheManager:
         for the sweep's duration.  The fresh cube map is assembled on
         the side and swapped in under one brief acquisition.
         """
-        fresh: OrderedDict[TemporalKey, DataCube] = OrderedDict()
+        fresh: OrderedDict[TemporalKey, AnyCube] = OrderedDict()
         preloaded_per_level: list[tuple[Level, int]] = []
-        for level, allotment in self.ratios.slots_per_level(self.slots).items():
-            if level not in self.index.levels or allotment <= 0:
-                continue
-            keys = self.index.keys(level)
-            taken = keys[-allotment:]
-            for key in taken:
-                fresh[key] = self.index.get(key)
-            if taken:
-                preloaded_per_level.append((level, len(taken)))
+        if self.byte_budget is None:
+            for level, allotment in self.ratios.slots_per_level(self.slots).items():
+                if level not in self.index.levels or allotment <= 0:
+                    continue
+                keys = self.index.keys(level)
+                taken = keys[-allotment:]
+                for key in taken:
+                    fresh[key] = self.index.get(key)
+                if taken:
+                    preloaded_per_level.append((level, len(taken)))
+        else:
+            # Byte mode: walk each level newest-first, admitting cubes
+            # until the level's byte allotment is spent.  Sizes are
+            # only known after the read, so the first cube that does
+            # not fit ends the level's sweep (its read is still
+            # charged — preload is offline maintenance).
+            per_level = self.ratios.slots_per_level(self.byte_budget)
+            for level, allotment in per_level.items():
+                if level not in self.index.levels or allotment <= 0:
+                    continue
+                taken: list[tuple[TemporalKey, AnyCube]] = []
+                used = 0
+                for key in reversed(self.index.keys(level)):
+                    cube = self.index.get(key)
+                    if used + cube.nbytes > allotment:
+                        break
+                    used += cube.nbytes
+                    taken.append((key, cube))
+                # Insert oldest-first so LRU eviction drops old keys.
+                for key, cube in reversed(taken):
+                    fresh[key] = cube
+                if taken:
+                    preloaded_per_level.append((level, len(taken)))
         with self._lock:
             self._cubes = fresh
+            self._bytes = sum(cube.nbytes for cube in fresh.values())
             self.hits = 0
             self.misses = 0
         for level, count in preloaded_per_level:
@@ -170,10 +211,13 @@ class CacheManager:
             cube = self.index.get(key)  # disk read outside the lock
         except (CubeNotFoundError, PageCorruptError, PageNotFoundError):
             with self._lock:
-                self._cubes.pop(key, None)
+                stale = self._cubes.pop(key, None)
+                if stale is not None:
+                    self._bytes -= stale.nbytes
             return
         with self._lock:
             if key in self._cubes:
+                self._bytes += cube.nbytes - self._cubes[key].nbytes
                 self._cubes[key] = cube
 
     def clear(self) -> int:
@@ -186,6 +230,7 @@ class CacheManager:
         with self._lock:
             count = len(self._cubes)
             self._cubes.clear()
+            self._bytes = 0
         return count
 
     # -- lookup ------------------------------------------------------------
@@ -198,7 +243,7 @@ class CacheManager:
         with self._lock:
             return frozenset(self._cubes)
 
-    def get(self, key: TemporalKey) -> DataCube | None:
+    def get(self, key: TemporalKey) -> AnyCube | None:
         """A cached cube, or ``None`` on miss (counts hit/miss stats).
 
         Registry series for hits/misses are recorded by the executor
@@ -214,20 +259,47 @@ class CacheManager:
             self.misses += 1
             return None
 
-    def admit(self, cube: DataCube) -> None:
+    def admit(self, cube: AnyCube) -> None:
         """Query-time admission with LRU eviction (optional extension)."""
-        if not self.admit_on_miss or self.slots == 0:
+        if not self.admit_on_miss or not self.has_capacity:
             return
+        if self.byte_budget is not None and cube.nbytes > self.byte_budget:
+            return  # admitting would evict the entire cache for one cube
+        evicted_levels: list[Level] = []
         with self._lock:
+            previous = self._cubes.pop(cube.key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
             self._cubes[cube.key] = cube
-            self._cubes.move_to_end(cube.key)
-            while len(self._cubes) > self.slots:
-                evicted_key, _ = self._cubes.popitem(last=False)
-                self.metrics.inc_key(_K_EVICTIONS[evicted_key.level])
+            self._bytes += cube.nbytes
+            while self._over_capacity():
+                evicted_key, evicted = self._cubes.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                evicted_levels.append(evicted_key.level)
+        for level in evicted_levels:
+            self.metrics.inc_key(_K_EVICTIONS[level])
+
+    def _over_capacity(self) -> bool:
+        # guarded-by: _lock (callers hold the lock)
+        if self.byte_budget is not None:
+            return self._bytes > self.byte_budget
+        return len(self._cubes) > self.slots
+
+    @property
+    def has_capacity(self) -> bool:
+        """Whether the cache can hold anything at all (either mode)."""
+        if self.byte_budget is not None:
+            return self.byte_budget > 0
+        return self.slots > 0
 
     @property
     def cached_count(self) -> int:
         return len(self._cubes)
+
+    @property
+    def cached_bytes(self) -> int:
+        """In-memory payload bytes of every resident cube."""
+        return self._bytes
 
     @property
     def hit_rate(self) -> float:

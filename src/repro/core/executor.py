@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.cache import HIT_KEYS, MISS_KEYS, CacheManager
 from repro.core.calendar import TemporalKey, series_periods
-from repro.core.cube import DataCube
+from repro.core.cube import AnyCube, sum_arrays
 from repro.core.deadline import check_deadline
 from repro.core.hierarchy import HierarchicalIndex
 from repro.core.iosched import IOScheduler
@@ -294,7 +294,7 @@ class QueryExecutor:
         refresh = (
             self.cache is not None
             and self.cache.admit_on_miss
-            and self.cache.slots > 0
+            and self.cache.has_capacity
         )
         rows: dict[tuple, float] = {}
         if refresh or self.iosched is None:
@@ -351,7 +351,7 @@ class QueryExecutor:
 
     def _prefetch(
         self, keys: list[TemporalKey], stats: QueryStats
-    ) -> dict[TemporalKey, DataCube] | None:
+    ) -> dict[TemporalKey, AnyCube | None] | None:
         """Overlapped phase-1 fetch of every key (``None`` when serial).
 
         The cache sweep stays serial (it is pure dict lookups); only
@@ -364,7 +364,7 @@ class QueryExecutor:
         if self.iosched is None or not keys:
             return None
         keys = list(dict.fromkeys(keys))
-        fetched: dict[TemporalKey, DataCube] = {}
+        fetched: dict[TemporalKey, AnyCube | None] = {}
         misses: list[TemporalKey] = []
         if self.cache is not None:
             sweep_started = time.perf_counter()
@@ -415,7 +415,7 @@ class QueryExecutor:
                 by_level[key.level] = by_level.get(key.level, 0) + 1
         return fetched
 
-    def _load_cube(self, key: TemporalKey) -> DataCube | None:
+    def _load_cube(self, key: TemporalKey) -> AnyCube | None:
         """Scheduler load callback: one page read plus cache admission.
 
         Degradable failures return ``None`` rather than raising, so the
@@ -432,7 +432,7 @@ class QueryExecutor:
 
     def _fetch(
         self, key: TemporalKey, stats: QueryStats
-    ) -> tuple[DataCube | None, bool]:
+    ) -> tuple[AnyCube | None, bool]:
         """One cube plus whether it was served from the cache.
 
         ``(None, False)`` means the cube could not be served and the
@@ -489,13 +489,16 @@ class QueryExecutor:
         plan: QueryPlan,
         query: AnalysisQuery,
         stats: QueryStats,
-        fetched: dict[TemporalKey, DataCube] | None = None,
+        fetched: dict[TemporalKey, AnyCube | None] | None = None,
     ) -> tuple[np.ndarray | None, list[list[str]]]:
         stats.cube_count += plan.cube_count
         stats.missing_days += len(plan.missing_days)
         filters = self._effective_filters(query)
         group_by = query.cube_group_by
-        accumulated: np.ndarray | None = None
+        # Per-cube partial arrays are collected and reduced in one
+        # vectorized pass (``sum_arrays``) instead of N sequential
+        # ``+=`` passes over the output array.
+        partials: list[np.ndarray] = []
         labels: list[list[str]] = []
         if fetched is not None:
             # Phase 1 already ran (overlapped); this is pure phase 2.
@@ -505,10 +508,8 @@ class QueryExecutor:
                 if cube is None:
                     continue
                 partial, labels = cube.aggregate_array(filters, group_by)
-                if accumulated is None:
-                    accumulated = partial.astype(np.int64, copy=True)
-                else:
-                    accumulated += partial
+                partials.append(partial)
+            accumulated = sum_arrays(partials) if partials else None
             if plan.keys:
                 stats.trace.add(
                     "phase2.aggregate",
@@ -529,10 +530,7 @@ class QueryExecutor:
                 continue
             fetched_at = time.perf_counter()
             partial, labels = cube.aggregate_array(filters, group_by)
-            if accumulated is None:
-                accumulated = partial.astype(np.int64, copy=True)
-            else:
-                accumulated += partial
+            partials.append(partial)
             done_at = time.perf_counter()
             if from_cache:
                 cache_seconds += fetched_at - previous
@@ -542,6 +540,9 @@ class QueryExecutor:
                 disk_cubes += 1
             aggregate_seconds += done_at - fetched_at
             previous = done_at
+        reduce_started = time.perf_counter()
+        accumulated = sum_arrays(partials) if partials else None
+        aggregate_seconds += time.perf_counter() - reduce_started
         trace = stats.trace
         if cache_cubes:
             trace.add("phase1.fetch.cache", cache_seconds, cache_cubes)
@@ -573,9 +574,12 @@ class QueryExecutor:
             # updates is informative on a time-series chart.
             rows[self._row_key((), date_position, period)] = int(accumulated)
             return rows
-        for idx, value in np.ndenumerate(accumulated):
-            if value == 0:
-                continue
+        # Vectorized nonzero enumeration: only populated result cells
+        # cross the numpy/Python boundary (the dense walk was hot on
+        # wide group-bys).
+        positions = np.nonzero(accumulated)
+        values = accumulated[positions]
+        for *idx, value in zip(*positions, values.tolist()):
             group = tuple(labels[axis][pos] for axis, pos in enumerate(idx))
             rows[self._row_key(group, date_position, period)] = int(value)
         return rows

@@ -41,7 +41,15 @@ from repro.core.calendar import (
     week_key,
     year_key,
 )
-from repro.core.cube import DataCube, RESOLUTION_COARSE, RESOLUTION_FULL, sum_cubes
+from repro.core.cube import (
+    AnyCube,
+    DataCube,
+    DEFAULT_SPARSE_THRESHOLD,
+    RESOLUTION_COARSE,
+    RESOLUTION_FULL,
+    SparseCube,
+    sum_cubes,
+)
 from repro.core.dimensions import CubeSchema
 from repro.errors import (
     CubeNotFoundError,
@@ -51,7 +59,12 @@ from repro.errors import (
 )
 from repro.geo.zones import ZoneAtlas
 from repro.storage.pages import PageStore
-from repro.storage.serializer import deserialize_cube, serialize_cube
+from repro.storage.serializer import (
+    PAGE_VERSION_COMPRESSED,
+    PAGE_VERSION_RAW,
+    deserialize_cube,
+    serialize_cube,
+)
 
 if TYPE_CHECKING:  # avoid core -> collection import cycle at runtime
     from repro.collection.records import UpdateList
@@ -110,6 +123,14 @@ class HierarchicalIndex:
         Which levels to maintain above DAY.  The full paper index is
         all four; the Fig. 8 experiment builds truncated variants
         (e.g. ``(Level.DAY,)`` is the flat index).
+    page_version:
+        On-disk page format for writes (1 raw, 2 zlib, 3 sparse
+        delta+RLE); reads auto-detect any version, so mixed stores are
+        fine and the knob can change between runs.
+    sparse:
+        Build and roll up cubes in the sparse (COO) in-memory form,
+        densifying only past ``sparse_threshold``.  Near-empty daily
+        cubes then never materialize the full dense array.
     """
 
     def __init__(
@@ -121,9 +142,16 @@ class HierarchicalIndex:
         prefix: str = _PAGE_PREFIX,
         compress: bool = False,
         epoch: "EpochCounter | None" = None,
+        page_version: int | None = None,
+        sparse: bool = False,
+        sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
     ) -> None:
         if Level.DAY not in levels:
             raise IndexError_("the index must include the daily level")
+        if compress and page_version not in (None, PAGE_VERSION_COMPRESSED):
+            raise IndexError_(
+                f"compress=True conflicts with page_version={page_version}"
+            )
         self.schema = schema
         self.store = store
         self.atlas = atlas
@@ -132,6 +160,15 @@ class HierarchicalIndex:
         #: Write cube pages zlib-compressed (ablation option; reads
         #: auto-detect either format).
         self.compress = compress
+        if page_version is None:
+            page_version = (
+                PAGE_VERSION_COMPRESSED if compress else PAGE_VERSION_RAW
+            )
+        #: Page format written by :meth:`put`; reads auto-detect.
+        self.page_version = page_version
+        #: Build/rollup cubes in sparse form (see class docstring).
+        self.sparse = sparse
+        self.sparse_threshold = sparse_threshold
         #: Bumped on every cube write so versioned consumers (the
         #: executor's result cache) can invalidate; optional.
         self.epoch = epoch
@@ -201,7 +238,7 @@ class HierarchicalIndex:
     def has(self, key: TemporalKey) -> bool:
         return key in self._catalog[key.level]
 
-    def get(self, key: TemporalKey) -> DataCube:
+    def get(self, key: TemporalKey) -> AnyCube:
         """Read one cube from the store (counts as one page I/O).
 
         A page that vanished or fails validation is quarantined on the
@@ -218,7 +255,7 @@ class HierarchicalIndex:
             self.quarantine(key)
             raise
 
-    def put(self, cube: DataCube) -> None:
+    def put(self, cube: AnyCube) -> None:
         """Write one cube to the store (counts as one page I/O)."""
         if cube.key.level not in self.levels:
             raise IndexError_(
@@ -226,7 +263,7 @@ class HierarchicalIndex:
             )
         self.store.write(
             page_id_for(cube.key, self.prefix),
-            serialize_cube(cube, compress=self.compress),
+            serialize_cube(cube, version=self.page_version),
         )
         with self._catalog_lock:
             self._catalog[cube.key.level].add(cube.key)
@@ -254,12 +291,27 @@ class HierarchicalIndex:
 
     def build_day_cube(
         self, day: date, updates: UpdateList, resolution: str = RESOLUTION_COARSE
-    ) -> DataCube:
-        """Scan one day's UpdateList into a daily cube (no I/O)."""
-        cube = DataCube(schema=self.schema, key=day_key(day), resolution=resolution)
+    ) -> AnyCube:
+        """Scan one day's UpdateList into a daily cube (no I/O).
+
+        In sparse mode the cube is built in COO form and densified
+        only if it crosses the density threshold — a typical day's few
+        thousand updates never touch the full dense array.
+        """
+        cube: AnyCube
+        if self.sparse:
+            cube = SparseCube(
+                schema=self.schema, key=day_key(day), resolution=resolution
+            )
+        else:
+            cube = DataCube(
+                schema=self.schema, key=day_key(day), resolution=resolution
+            )
         coded = updates.cube_coordinates(self.schema, self.atlas)
         if len(coded):
             cube.bulk_record(coded)
+        if isinstance(cube, SparseCube):
+            return cube.maybe_densify(self.sparse_threshold)
         return cube
 
     def ingest_day(self, day: date, updates: UpdateList) -> list[TemporalKey]:
@@ -272,13 +324,13 @@ class HierarchicalIndex:
         daily = self.build_day_cube(day, updates, resolution=RESOLUTION_COARSE)
         return self._store_day_and_rollup(daily)
 
-    def _store_day_and_rollup(self, daily: DataCube) -> list[TemporalKey]:
+    def _store_day_and_rollup(self, daily: AnyCube) -> list[TemporalKey]:
         day = daily.key.start
         self.put(daily)
         written = [daily.key]
         # Cubes built during this maintenance pass stay in memory, so a
         # month-end rollup doesn't pay a read for the week it just built.
-        in_memory: dict[TemporalKey, DataCube] = {daily.key: daily}
+        in_memory: dict[TemporalKey, AnyCube] = {daily.key: daily}
         for parent_key in completed_units(day):
             if parent_key.level not in self.levels:
                 continue
@@ -295,7 +347,12 @@ class HierarchicalIndex:
                     cubes.append(self.get(child))
                 # Missing children contribute zero (e.g. the index was
                 # bootstrapped mid-week).
-            parent = sum_cubes(self.schema, parent_key, cubes)
+            parent = sum_cubes(
+                self.schema,
+                parent_key,
+                cubes,
+                sparse_threshold=self.sparse_threshold,
+            )
             self.put(parent)
             in_memory[parent_key] = parent
             written.append(parent_key)
@@ -319,7 +376,7 @@ class HierarchicalIndex:
         from repro.collection.records import UpdateList
 
         written: list[TemporalKey] = []
-        in_memory: dict[TemporalKey, DataCube] = {}
+        in_memory: dict[TemporalKey, AnyCube] = {}
         empty = UpdateList()
         for day in (month.start.toordinal() + i for i in range(month.day_count)):
             the_day = date.fromordinal(day)
@@ -337,6 +394,7 @@ class HierarchicalIndex:
                     self.schema,
                     child,
                     [in_memory[grand] for grand in child.children()],
+                    sparse_threshold=self.sparse_threshold,
                 )
                 self.put(weekly)
                 in_memory[child] = weekly
@@ -350,6 +408,7 @@ class HierarchicalIndex:
                     for child in month.children()
                     if child in in_memory
                 ],
+                sparse_threshold=self.sparse_threshold,
             )
             self.put(monthly)
             written.append(month)
@@ -360,7 +419,14 @@ class HierarchicalIndex:
                 for m in range(1, 13)
                 if self.has(month_key(month.year, m))
             ]
-            self.put(sum_cubes(self.schema, year, months))
+            self.put(
+                sum_cubes(
+                    self.schema,
+                    year,
+                    months,
+                    sparse_threshold=self.sparse_threshold,
+                )
+            )
             written.append(year)
         return written
 

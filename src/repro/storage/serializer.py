@@ -1,32 +1,72 @@
 """Binary serialization of data cubes to disk pages.
 
-Page layout (all integers little-endian):
+Common page header (all integers little-endian):
 
 ====== ======= ==============================================
 offset size    field
 ====== ======= ==============================================
 0      4       magic ``b"RCUB"``
-4      2       format version (1 = raw, 2 = zlib-compressed payload)
+4      2       format version (1 raw, 2 zlib, 3 sparse)
 6      1       level (``Level`` value)
 7      1       resolution (0 = coarse, 1 = full)
 8      4       year
 12     4       month
 16     4       ordinal
 20     16      shape: four uint32 axis sizes
-36     4       CRC32 of the *raw* payload
-40     ...     payload: C-order int64 cube cells (v2: zlib stream)
+36     4       CRC32 (coverage depends on version, below)
+40     ...     payload
 ====== ======= ==============================================
+
+Version 1 (raw) stores the payload as C-order ``int64`` cube cells;
+version 2 wraps the same cells in a zlib stream.  For both, the CRC
+covers the *raw uncompressed* payload.
+
+Version 3 (sparse) stores only the nonzero cells, delta-of-index plus
+run-length encoded, behind a sparse mini-header:
+
+====== ======= ==============================================
+offset size    field (relative to payload start)
+====== ======= ==============================================
+0      4       nnz: number of nonzero cells
+4      4       n_runs: number of equal-value runs
+8      1       delta width code (1/2/4/8 = bytes per delta)
+9      1       run-length width code (1/2/4/8)
+10     1       run-value width code (1/2/4/8)
+11     1       reserved (0)
+12     8       flat index of the first nonzero cell
+20     ...     deltas: ``nnz - 1`` unsigned ints (delta width)
+…      ...     run lengths: ``n_runs`` unsigned ints
+…      ...     run values: ``n_runs`` signed ints
+====== ======= ==============================================
+
+Cell indices are strictly increasing, so consecutive deltas are ≥ 1
+and fit a narrow unsigned width; daily count values cluster heavily
+(long runs of 1s), so values are run-length encoded with the smallest
+signed width that fits.  When the encoded payload would be no smaller
+than the raw cells — a dense cube — the writer falls back to a plain
+version-1 page, making v3 never worse than raw on disk.
+
+The version-3 CRC covers the **whole page**: the header (with the
+checksum field zeroed) plus the payload.  v1/v2 checksums protect only
+the payload for compatibility with existing pages; v3, being new,
+also catches header bit rot (a flipped resolution flag or key field).
 
 The checksum lets :func:`deserialize_cube` detect torn or corrupted
 pages, raising :class:`~repro.errors.PageCorruptError` rather than
 returning silently wrong statistics.
 
-Version 2 compresses the payload with zlib: real cubes are extremely
-sparse (540,000 cells, a few thousand nonzero on a typical day), so
-compressed pages are tiny — at the cost of inflating on every read.
-The storage-vs-latency trade-off is measured in
-``benchmarks/bench_ablation_compression.py``; RASED's deployment
-choice (raw 4 MB pages, one page per I/O) remains the default.
+Reading a version-1 page is zero-copy: the returned cube's counts are
+a read-only ``np.frombuffer`` view over the page bytes (copied only on
+a non-native-endian host), and :class:`~repro.types.cube.DataCube`
+copies on first write.  Version-3 pages decode to a
+:class:`~repro.types.cube.SparseCube` when the stored density is below
+:data:`~repro.types.cube.DEFAULT_SPARSE_THRESHOLD`, else to a dense
+cube.
+
+The storage-vs-latency trade-off of v2 is measured in
+``benchmarks/bench_ablation_compression.py``; the v1/v3 sweep lives in
+``benchmarks/bench_cube_kernel.py``.  RASED's deployment choice (raw
+4 MB pages, one page per I/O) remains the default.
 """
 
 from __future__ import annotations
@@ -37,17 +77,38 @@ import zlib
 import numpy as np
 
 from repro.types.temporal import Level, TemporalKey
-from repro.types.cube import DataCube, RESOLUTION_COARSE, RESOLUTION_FULL
+from repro.types.cube import (
+    AnyCube,
+    DataCube,
+    DEFAULT_SPARSE_THRESHOLD,
+    RESOLUTION_COARSE,
+    RESOLUTION_FULL,
+    SparseCube,
+)
 from repro.types.dimensions import CubeSchema
-from repro.errors import PageCorruptError
+from repro.errors import CalendarError, ConfigError, PageCorruptError
 
-__all__ = ["serialize_cube", "deserialize_cube", "HEADER_SIZE", "cube_page_size"]
+__all__ = [
+    "serialize_cube",
+    "deserialize_cube",
+    "page_version",
+    "HEADER_SIZE",
+    "cube_page_size",
+    "PAGE_VERSION_RAW",
+    "PAGE_VERSION_COMPRESSED",
+    "PAGE_VERSION_SPARSE",
+]
 
 _MAGIC = b"RCUB"
-_VERSION_RAW = 1
-_VERSION_COMPRESSED = 2
+PAGE_VERSION_RAW = 1
+PAGE_VERSION_COMPRESSED = 2
+PAGE_VERSION_SPARSE = 3
+_VERSIONS = (PAGE_VERSION_RAW, PAGE_VERSION_COMPRESSED, PAGE_VERSION_SPARSE)
 _HEADER = struct.Struct("<4sHBBiii4II")
 HEADER_SIZE = _HEADER.size
+_CHECKSUM_OFFSET = HEADER_SIZE - 4  # trailing uint32 of the header
+_SPARSE_HEADER = struct.Struct("<IIBBBBQ")
+_WIDTH_CODES = (1, 2, 4, 8)
 
 
 def cube_page_size(schema: CubeSchema) -> int:
@@ -55,15 +116,38 @@ def cube_page_size(schema: CubeSchema) -> int:
     return HEADER_SIZE + schema.cell_count * 8
 
 
-def serialize_cube(cube: DataCube, compress: bool = False) -> bytes:
-    """Encode a cube into one page's bytes (optionally zlib payload)."""
-    payload = np.ascontiguousarray(cube.counts, dtype="<i8").tobytes()
-    checksum = zlib.crc32(payload) & 0xFFFFFFFF
-    version = _VERSION_RAW
-    if compress:
-        payload = zlib.compress(payload, level=6)
-        version = _VERSION_COMPRESSED
-    header = _HEADER.pack(
+def page_version(data: bytes) -> int:
+    """The format version of a serialized page (cheap header peek)."""
+    if len(data) < HEADER_SIZE or data[:4] != _MAGIC:
+        raise PageCorruptError("not a cube page")
+    version = int.from_bytes(data[4:6], "little")
+    if version not in _VERSIONS:
+        raise PageCorruptError(f"unsupported cube format version {version}")
+    return version
+
+
+def _narrowest_unsigned(values: np.ndarray) -> np.ndarray:
+    """``values`` cast to the narrowest little-endian unsigned dtype."""
+    top = int(values.max()) if values.size else 0
+    for width in _WIDTH_CODES:
+        if top < 1 << (8 * width):
+            return values.astype(f"<u{width}")
+    raise ConfigError(f"value {top} exceeds uint64")  # pragma: no cover
+
+
+def _narrowest_signed(values: np.ndarray) -> np.ndarray:
+    """``values`` cast to the narrowest little-endian signed dtype."""
+    low = int(values.min()) if values.size else 0
+    high = int(values.max()) if values.size else 0
+    for width in _WIDTH_CODES:
+        bound = 1 << (8 * width - 1)
+        if -bound <= low and high < bound:
+            return values.astype(f"<i{width}")
+    raise ConfigError(f"values [{low}, {high}] exceed int64")  # pragma: no cover
+
+
+def _pack_header(cube: AnyCube, version: int, checksum: int) -> bytes:
+    return _HEADER.pack(
         _MAGIC,
         version,
         int(cube.key.level),
@@ -74,14 +158,133 @@ def serialize_cube(cube: DataCube, compress: bool = False) -> bytes:
         *cube.schema.shape,
         checksum,
     )
-    return header + payload
 
 
-def deserialize_cube(data: bytes, schema: CubeSchema) -> DataCube:
-    """Decode one page back into a :class:`DataCube`.
+def _sparse_parts(cube: AnyCube) -> tuple[np.ndarray, np.ndarray]:
+    """(cells, values) of the nonzero entries, from either form."""
+    if isinstance(cube, SparseCube):
+        return cube.cells, cube.values
+    flat = np.ascontiguousarray(cube.counts).reshape(-1)
+    cells = np.flatnonzero(flat)
+    return cells, flat[cells]
+
+
+def _encode_sparse_payload(cells: np.ndarray, values: np.ndarray) -> bytes:
+    """Delta + RLE encoding of one cube's nonzero entries."""
+    nnz = int(cells.size)
+    first_cell = int(cells[0]) if nnz else 0
+    deltas = _narrowest_unsigned(np.diff(cells))
+    if nnz:
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], values[1:] != values[:-1]))
+        )
+        run_values = _narrowest_signed(values[run_starts])
+        run_lengths = _narrowest_unsigned(
+            np.diff(np.concatenate((run_starts, [nnz])))
+        )
+    else:
+        run_values = np.empty(0, dtype="<i1")
+        run_lengths = np.empty(0, dtype="<u1")
+    mini = _SPARSE_HEADER.pack(
+        nnz,
+        int(run_lengths.size),
+        deltas.dtype.itemsize,
+        run_lengths.dtype.itemsize,
+        run_values.dtype.itemsize,
+        0,
+        first_cell,
+    )
+    return mini + deltas.tobytes() + run_lengths.tobytes() + run_values.tobytes()
+
+
+def serialize_cube(
+    cube: AnyCube, compress: bool = False, version: int | None = None
+) -> bytes:
+    """Encode a cube into one page's bytes.
+
+    ``version`` selects the page format (default 1, raw).  The legacy
+    ``compress`` flag is shorthand for version 2.  A version-3 request
+    silently writes a version-1 page instead when the sparse encoding
+    would not be smaller — readers never need to know which side won.
+    """
+    if version is None:
+        version = PAGE_VERSION_COMPRESSED if compress else PAGE_VERSION_RAW
+    elif version not in _VERSIONS:
+        raise ConfigError(f"unknown page version {version}")
+    elif compress and version != PAGE_VERSION_COMPRESSED:
+        raise ConfigError(f"compress=True conflicts with page version {version}")
+
+    if version == PAGE_VERSION_SPARSE:
+        cells, values = _sparse_parts(cube)
+        payload = _encode_sparse_payload(cells, values)
+        if len(payload) < cube.schema.cell_count * 8:
+            # Full-page CRC: header with a zeroed checksum field, then
+            # the payload, so header bit rot is also caught.
+            checksum = zlib.crc32(payload, zlib.crc32(_pack_header(cube, version, 0)))
+            return _pack_header(cube, version, checksum & 0xFFFFFFFF) + payload
+        version = PAGE_VERSION_RAW  # dense cube: raw page is no bigger
+
+    payload = np.ascontiguousarray(cube.counts, dtype="<i8").tobytes()
+    checksum = zlib.crc32(payload) & 0xFFFFFFFF
+    if version == PAGE_VERSION_COMPRESSED:
+        payload = zlib.compress(payload, level=6)
+    return _pack_header(cube, version, checksum) + payload
+
+
+def _decode_sparse_payload(
+    data: bytes, schema: CubeSchema
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reconstruct (cells, values) from a CRC-verified v3 payload."""
+    payload_size = len(data) - HEADER_SIZE
+    if payload_size < _SPARSE_HEADER.size:
+        raise PageCorruptError(f"sparse payload too small: {payload_size} bytes")
+    nnz, n_runs, delta_width, run_width, value_width, _, first_cell = (
+        _SPARSE_HEADER.unpack_from(data, HEADER_SIZE)
+    )
+    widths = (delta_width, run_width, value_width)
+    if any(width not in _WIDTH_CODES for width in widths):
+        raise PageCorruptError(f"bad sparse width codes {widths}")
+    if nnz > schema.cell_count or n_runs > nnz or (nnz > 0) != (n_runs > 0):
+        raise PageCorruptError(f"inconsistent sparse counts nnz={nnz} runs={n_runs}")
+    n_deltas = nnz - 1 if nnz else 0
+    expected = (
+        _SPARSE_HEADER.size
+        + n_deltas * delta_width
+        + n_runs * (run_width + value_width)
+    )
+    if payload_size != expected:
+        raise PageCorruptError(
+            f"sparse payload is {payload_size} bytes, expected {expected}"
+        )
+    offset = HEADER_SIZE + _SPARSE_HEADER.size
+    deltas = np.frombuffer(
+        data, dtype=f"<u{delta_width}", count=n_deltas, offset=offset
+    ).astype(np.int64)
+    offset += n_deltas * delta_width
+    run_lengths = np.frombuffer(
+        data, dtype=f"<u{run_width}", count=n_runs, offset=offset
+    ).astype(np.int64)
+    offset += n_runs * run_width
+    run_values = np.frombuffer(
+        data, dtype=f"<i{value_width}", count=n_runs, offset=offset
+    ).astype(np.int64)
+    if nnz and int(run_lengths.sum()) != nnz:
+        raise PageCorruptError("sparse run lengths do not sum to nnz")
+    cells = np.concatenate(
+        (np.asarray([first_cell], dtype=np.int64), deltas)
+    ).cumsum()
+    values = np.repeat(run_values, run_lengths) if nnz else np.empty(0, np.int64)
+    return cells[:nnz], values
+
+
+def deserialize_cube(data: bytes, schema: CubeSchema) -> AnyCube:
+    """Decode one page back into a cube (dense or sparse form).
 
     Validates magic, version, shape-vs-schema agreement, and the
-    payload checksum.
+    checksum.  Version-1 pages decode without copying the payload: the
+    cube's counts are a read-only view over ``data`` (copy-on-write in
+    the cube's mutators).  Version-3 pages yield a
+    :class:`~repro.types.cube.SparseCube` below the density threshold.
     """
     if len(data) < HEADER_SIZE:
         raise PageCorruptError(f"page too small: {len(data)} bytes")
@@ -101,35 +304,66 @@ def deserialize_cube(data: bytes, schema: CubeSchema) -> DataCube:
     ) = _HEADER.unpack_from(data)
     if magic != _MAGIC:
         raise PageCorruptError(f"bad magic {magic!r}")
-    if version not in (_VERSION_RAW, _VERSION_COMPRESSED):
+    if version not in _VERSIONS:
         raise PageCorruptError(f"unsupported cube format version {version}")
+    if version == PAGE_VERSION_SPARSE:
+        # Verify the full-page CRC before *interpreting* any header
+        # field: a flipped key byte must surface as corruption, not as
+        # a calendar error (or worse, a wrong-but-valid key).
+        zeroed = bytearray(data[:HEADER_SIZE])
+        zeroed[_CHECKSUM_OFFSET:HEADER_SIZE] = b"\x00\x00\x00\x00"
+        actual = zlib.crc32(memoryview(data)[HEADER_SIZE:], zlib.crc32(bytes(zeroed)))
+        if actual & 0xFFFFFFFF != checksum:
+            raise PageCorruptError("page checksum mismatch")
     shape = (s0, s1, s2, s3)
     if shape != schema.shape:
         raise PageCorruptError(
             f"cube shape {shape} does not match schema shape {schema.shape}"
         )
-    payload = data[HEADER_SIZE:]
-    if version == _VERSION_COMPRESSED:
-        try:
-            payload = zlib.decompress(payload)
-        except zlib.error as exc:
-            raise PageCorruptError(f"corrupt compressed payload: {exc}") from exc
-    expected = schema.cell_count * 8
-    if len(payload) != expected:
-        raise PageCorruptError(
-            f"payload is {len(payload)} bytes, expected {expected}"
-        )
-    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
-        raise PageCorruptError("payload checksum mismatch")
     try:
         level = Level(level_value)
     except ValueError:
         raise PageCorruptError(f"unknown level byte {level_value}") from None
-    key = TemporalKey(level, year, month, ordinal)
-    counts = np.frombuffer(payload, dtype="<i8").astype(np.int64).reshape(shape)
-    return DataCube(
-        schema=schema,
-        key=key,
-        counts=counts,
-        resolution=RESOLUTION_FULL if resolution_flag else RESOLUTION_COARSE,
-    )
+    try:
+        key = TemporalKey(level, year, month, ordinal)
+    except CalendarError as exc:
+        raise PageCorruptError(f"invalid temporal key in header: {exc}") from exc
+    resolution = RESOLUTION_FULL if resolution_flag else RESOLUTION_COARSE
+
+    if version == PAGE_VERSION_SPARSE:
+        cells, values = _decode_sparse_payload(data, schema)
+        try:
+            sparse = SparseCube(
+                schema=schema, key=key, cells=cells, values=values, resolution=resolution
+            )
+        except Exception as exc:
+            raise PageCorruptError(f"invalid sparse page contents: {exc}") from exc
+        return sparse.maybe_densify(DEFAULT_SPARSE_THRESHOLD)
+
+    expected = schema.cell_count * 8
+    if version == PAGE_VERSION_COMPRESSED:
+        try:
+            payload = zlib.decompress(memoryview(data)[HEADER_SIZE:])
+        except zlib.error as exc:
+            raise PageCorruptError(f"corrupt compressed payload: {exc}") from exc
+        if len(payload) != expected:
+            raise PageCorruptError(
+                f"payload is {len(payload)} bytes, expected {expected}"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+            raise PageCorruptError("payload checksum mismatch")
+        counts = np.frombuffer(payload, dtype="<i8").reshape(shape)
+    else:
+        if len(data) - HEADER_SIZE != expected:
+            raise PageCorruptError(
+                f"payload is {len(data) - HEADER_SIZE} bytes, expected {expected}"
+            )
+        if zlib.crc32(memoryview(data)[HEADER_SIZE:]) & 0xFFFFFFFF != checksum:
+            raise PageCorruptError("payload checksum mismatch")
+        # Zero-copy fast path: a read-only int64 view straight over the
+        # page buffer.  ``<i8`` is the native layout on little-endian
+        # hosts, so astype (a full 4 MB copy) runs only on big-endian.
+        counts = np.frombuffer(data, dtype="<i8", offset=HEADER_SIZE).reshape(shape)
+    if not counts.dtype.isnative:
+        counts = counts.astype(np.int64)  # pragma: no cover (big-endian host)
+    return DataCube(schema=schema, key=key, counts=counts, resolution=resolution)

@@ -1,6 +1,7 @@
 """Synthetic world, mappers, edit simulator, and query workloads."""
 
 from repro.synth.editors import Mapper, MapperProfile, PROFILES
+from repro.synth.scale import SCALE_PROFILES, ScaleProfile, profile_schema, scaled_day_updates
 from repro.synth.scenarios import ScenarioEvent, ScenarioSimulator, import_event, mapping_party, vandalism_event
 from repro.synth.simulator import DayOutput, EditSimulator, SimulationConfig
 from repro.synth.workload import QueryWorkload
@@ -8,8 +9,10 @@ from repro.synth.world import CountryNetwork, WorldState, build_initial_world
 
 __all__ = [
     "CountryNetwork", "DayOutput", "EditSimulator", "Mapper", "MapperProfile",
-    "PROFILES", "QueryWorkload", "ScenarioEvent", "ScenarioSimulator",
+    "PROFILES", "QueryWorkload", "SCALE_PROFILES", "ScaleProfile",
+    "ScenarioEvent", "ScenarioSimulator",
     "SimulationConfig", "WorldState", "import_event", "mapping_party",
+    "profile_schema", "scaled_day_updates",
     "vandalism_event",
     "build_initial_world",
 ]

@@ -1,0 +1,119 @@
+"""Scale-sweep worlds: the same fast-path workload at 1×/10×/100×.
+
+The kernel benchmarks (``benchmarks/bench_cube_kernel.py``) need the
+*same* synthetic update stream at several data scales — more countries,
+more road types, more rows per day — without paying for the full editor
+simulation.  This module generalizes the benchmark harness's fast-path
+generator over an arbitrary schema and packages three canonical
+profiles:
+
+======= ========= ========== ============ ============
+profile countries road types rows per day cube cells
+======= ========= ========== ============ ============
+``1x``       30       12          50          4,320
+``10x``     100       40         500         48,000
+``100x``    300      150       5,000        540,000
+======= ========= ========== ============ ============
+
+``100x`` is the paper's deployment scale (3 × 300 × 150 × 4 = 540 K
+cells per cube, ~4 MB raw pages); ``1x`` is roughly the harness's
+long-horizon setting.  Rows per day track the OSM+ "billion-level"
+growth direction: ten times the zones see ten times the edits.
+
+The generator's random call sequence is identical to the original
+harness generator for the same inputs, so the long-horizon benches'
+committed snapshots stay bit-identical when they delegate here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import date
+from typing import Sequence
+
+from repro.collection.records import UpdateList, UpdateRecord
+from repro.types.dimensions import CubeSchema, default_schema
+
+__all__ = [
+    "ScaleProfile",
+    "SCALE_PROFILES",
+    "country_weights",
+    "profile_schema",
+    "scaled_day_updates",
+]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """One rung of the scale sweep."""
+
+    name: str
+    countries: int
+    road_types: int
+    rows_per_day: int
+
+    @property
+    def cell_count(self) -> int:
+        return 3 * self.countries * self.road_types * 4
+
+
+SCALE_PROFILES: tuple[ScaleProfile, ...] = (
+    ScaleProfile("1x", countries=30, road_types=12, rows_per_day=50),
+    ScaleProfile("10x", countries=100, road_types=40, rows_per_day=500),
+    ScaleProfile("100x", countries=300, road_types=150, rows_per_day=5000),
+)
+
+
+def country_weights(count: int, exponent: float = 0.7) -> list[float]:
+    """Zipf-flavored activity skew across ``count`` countries."""
+    return [1.0 / (1 + rank) ** exponent for rank in range(count)]
+
+
+def profile_schema(profile: ScaleProfile) -> CubeSchema:
+    """The cube schema of one profile (synthetic zone names)."""
+    countries = tuple(f"zone_{i:03d}" for i in range(profile.countries))
+    return default_schema(countries, road_types=profile.road_types)
+
+
+def scaled_day_updates(
+    day: date,
+    rng: random.Random,
+    schema: CubeSchema,
+    rows_per_day: int,
+    countries: Sequence[str] | None = None,
+    weights: Sequence[float] | None = None,
+) -> UpdateList:
+    """Fast-path UpdateList for one day (no OSM simulation).
+
+    ``countries``/``weights`` default to the schema's full country axis
+    under :func:`country_weights` skew; the benchmark harness passes
+    its own reduced list to stay bit-compatible with old snapshots.
+    """
+    if countries is None:
+        countries = schema.country.values
+    if weights is None:
+        weights = country_weights(len(countries))
+    updates = UpdateList()
+    road_values = schema.road_type.values[:-1]  # skip the catch-all
+    for i in range(rows_per_day):
+        country = rng.choices(countries, weights=weights, k=1)[0]
+        updates.append(
+            UpdateRecord(
+                element_type=rng.choices(
+                    ("node", "way", "relation"), weights=(0.55, 0.43, 0.02), k=1
+                )[0],
+                date=day,
+                country=country,
+                latitude=rng.uniform(-50.0, 60.0),
+                longitude=rng.uniform(-150.0, 150.0),
+                road_type=rng.choice(road_values),
+                update_type=rng.choices(
+                    ("create", "geometry", "metadata", "delete"),
+                    weights=(0.45, 0.3, 0.2, 0.05),
+                    k=1,
+                )[0],
+                changeset_id=day.toordinal() * 1000 + i,
+            )
+        )
+    return updates

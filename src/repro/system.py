@@ -71,6 +71,20 @@ class SystemConfig:
     road_types: int = 12
     cache_slots: int = 64
     cache_ratios: CacheRatios = DEFAULT_RATIOS
+    #: When set, the cube cache is *byte*-budgeted instead of
+    #: slot-budgeted: each cube charges its actual in-memory footprint,
+    #: so small sparse cubes multiply effective capacity.  ``None``
+    #: (default) keeps the paper's slot accounting bit-identical.
+    cache_bytes: int | None = None
+    #: On-disk cube page format (1 raw, 2 zlib, 3 sparse delta+RLE).
+    #: Reads auto-detect, so the knob can change between runs; the
+    #: default raw format keeps experiment numbers bit-identical.
+    page_version: int = 1
+    #: Build and roll up cubes in the sparse (COO) in-memory form,
+    #: densifying past ``sparse_threshold``.  Off by default.
+    sparse_cubes: bool = False
+    #: Populated-cell fraction above which a sparse cube densifies.
+    sparse_threshold: float = 0.25
     simulation: SimulationConfig = SimulationConfig()
     #: Width of the executor's I/O scheduler pool (phase-1 page reads
     #: are overlapped and single-flighted).  1 disables the scheduler
@@ -195,7 +209,13 @@ class RasedSystem:
             )
 
         self.index = HierarchicalIndex(
-            schema, effective_store, atlas=atlas, epoch=self.epoch
+            schema,
+            effective_store,
+            atlas=atlas,
+            epoch=self.epoch,
+            page_version=config.page_version,
+            sparse=config.sparse_cubes,
+            sparse_threshold=config.sparse_threshold,
         )
         self.warehouse = Warehouse(effective_store, metrics=self.metrics)
         self.hash_index = HashIndex(effective_store)
@@ -205,6 +225,7 @@ class RasedSystem:
             slots=config.cache_slots,
             ratios=config.cache_ratios,
             metrics=self.metrics,
+            byte_budget=config.cache_bytes,
         )
         self.network_sizes = NetworkSizeRegistry(
             atlas, self.simulator.road_network_sizes()

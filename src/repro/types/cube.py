@@ -1,17 +1,38 @@
 """Four-dimensional data cubes of precomputed update counts.
 
-Each index node in RASED stores one :class:`DataCube`: a dense array of
-update counts over (ElementType, Country, RoadType, UpdateType) for one
-temporal window (paper, Section VI-A; data cubes after Gray et al.,
-ICDE 1996).  At the paper's full scale a cube holds 3 x 300 x 150 x 4 =
-540,000 int64 cells, i.e. ~4 MB — one disk page.
+Each index node in RASED stores one cube: counts over (ElementType,
+Country, RoadType, UpdateType) for one temporal window (paper, Section
+VI-A; data cubes after Gray et al., ICDE 1996).  At the paper's full
+scale a cube spans 3 x 300 x 150 x 4 = 540,000 int64 cells, i.e. ~4 MB
+as one dense disk page.
 
-Cubes support the two operations the system needs:
+Two representations implement the same interface (the *columnar cube
+kernel*):
 
-* **build/maintain** — :meth:`DataCube.record` increments one cell per
-  crawled update; :func:`sum_cubes` rolls children up into parents.
-* **query** — :meth:`DataCube.aggregate` applies per-dimension filters
-  and group-bys entirely in memory (the paper's "second phase").
+* :class:`DataCube` — the dense ndarray form, one int64 per cell.
+  Best when many cells are populated (rolled-up yearly cubes, paper
+  default).
+* :class:`SparseCube` — a sorted-COO columnar form: two parallel
+  arrays of (flat cell index, count), holding only nonzero cells.  A
+  typical *daily* cube populates a few thousand of its 540,000 cells,
+  so the sparse form is orders of magnitude smaller and aggregates in
+  O(nnz) instead of O(cells).
+
+Both support the operations the system needs:
+
+* **build/maintain** — ``record``/``bulk_record`` count crawled
+  updates; :func:`sum_cubes` rolls children up into parents in one
+  batched vectorized pass (concatenate-and-reduce for sparse children,
+  a single reduction for dense ones).
+* **query** — ``aggregate``/``aggregate_array`` apply per-dimension
+  filters and group-bys entirely in memory (the paper's "second
+  phase"), natively on either form.
+
+The *density threshold* (:data:`DEFAULT_SPARSE_THRESHOLD`) governs the
+dual representation: sparse cubes whose populated fraction crosses it
+auto-densify (:meth:`SparseCube.maybe_densify`), since beyond ~25%
+density the dense form is both smaller per byte of information and
+faster to reduce.
 
 A cube also carries its update-type ``resolution``: daily crawls only
 know create-vs-update, so daily-built cubes are ``'coarse'`` (modifies
@@ -21,8 +42,7 @@ counted under *geometry*); after the monthly rebuild they become
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -32,11 +52,17 @@ from repro.types.temporal import TemporalKey
 
 __all__ = [
     "DataCube",
+    "SparseCube",
+    "AnyCube",
     "Resolution",
     "RESOLUTION_COARSE",
     "RESOLUTION_FULL",
+    "DEFAULT_SPARSE_THRESHOLD",
     "sum_cubes",
+    "sum_arrays",
     "empty_like",
+    "as_dense",
+    "as_sparse",
 ]
 
 #: Cube update-type resolution markers.
@@ -45,8 +71,151 @@ RESOLUTION_COARSE: Resolution = "coarse"
 RESOLUTION_FULL: Resolution = "full"
 _VALID_RESOLUTIONS = (RESOLUTION_COARSE, RESOLUTION_FULL)
 
+#: Populated-cell fraction above which the sparse form stops paying:
+#: sorted-COO costs 16 bytes per nonzero cell against the dense form's
+#: flat 8 bytes per cell, so storage breaks even at 0.5; aggregation
+#: overheads move the practical crossover lower.
+DEFAULT_SPARSE_THRESHOLD: float = 0.25
 
-@dataclass
+#: How many dense count arrays a batched reduction stacks at once.
+#: Bounds the transient ``np.stack`` allocation while keeping the
+#: reduction vectorized.
+_REDUCE_CHUNK = 16
+
+#: Above this per-array size the stacked reduction stops paying: the
+#: ``np.stack`` copy of each chunk costs more memory traffic than the
+#: adds it saves, so :func:`sum_arrays` streams ``+=`` instead (the
+#: adds are memory-bound either way; only small arrays benefit from
+#: amortizing per-array overhead).  256 KB keeps chunks L2-resident.
+_STACK_LIMIT_BYTES = 256 * 1024
+
+
+# -- shared selection machinery -----------------------------------------
+
+
+def _resolve_selection(
+    schema: CubeSchema,
+    filters: Mapping[str, Sequence[str] | None] | None,
+    group_by: Sequence[str],
+) -> tuple[list[list[int] | None], list[list[str]], list[int]]:
+    """Validate filters/group-by and resolve them against ``schema``.
+
+    Returns ``(codes_by_axis, labels_by_axis, group_axes)``:
+
+    * ``codes_by_axis`` — per storage axis, the selected codes in
+      filter order, or ``None`` when the axis is unconstrained;
+    * ``labels_by_axis`` — per storage axis, the value labels that
+      remain after filtering;
+    * ``group_axes`` — storage-axis positions of ``group_by`` entries,
+      in **group_by order** (the output axis order).
+    """
+    filters = filters or {}
+    for name in filters:
+        schema.axis(name)  # validate names eagerly
+    # Dedupe filter values up front (order-preserving): a repeated code
+    # would otherwise select the same slice twice and double-count.
+    deduped: dict[str, list[str] | None] = {
+        name: None if allowed is None else list(dict.fromkeys(allowed))
+        for name, allowed in filters.items()
+    }
+    order = list(schema.AXES)
+    for name in group_by:
+        if name not in order:
+            raise DimensionError(f"unknown group-by axis {name!r}")
+    if len(set(group_by)) != len(group_by):
+        raise DimensionError(f"duplicate group-by axis in {group_by!r}")
+    codes_by_axis: list[list[int] | None] = []
+    labels_by_axis: list[list[str]] = []
+    for name in order:
+        allowed = deduped.get(name)
+        dim = schema.dimension(name)
+        if allowed is None:
+            codes_by_axis.append(None)
+            labels_by_axis.append(list(dim.values))
+        else:
+            codes_by_axis.append(dim.codes(allowed))
+            labels_by_axis.append(list(allowed))
+    group_axes = [order.index(name) for name in group_by]
+    return codes_by_axis, labels_by_axis, group_axes
+
+
+def _rows_from_nonzero(
+    array: np.ndarray, labels: list[list[str]]
+) -> dict[tuple[str, ...], int]:
+    """Enumerate an already-reduced array's nonzero cells into rows.
+
+    Vectorized over ``np.nonzero``: cost is proportional to populated
+    cells, not to the array's full extent (wide group-bys over sparse
+    data would otherwise walk mostly zeros).
+    """
+    result: dict[tuple[str, ...], int] = {}
+    nonzero = np.nonzero(array)
+    values = array[nonzero].tolist()
+    columns = [axis_positions.tolist() for axis_positions in nonzero]
+    for row, value in enumerate(values):
+        group = tuple(
+            labels[axis][positions[row]] for axis, positions in enumerate(columns)
+        )
+        result[group] = int(value)
+    return result
+
+
+def sum_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum N equally shaped int64 arrays; always a fresh writable result.
+
+    Small arrays (query partials, reduced group-by outputs) are summed
+    in chunked ``np.add.reduce`` passes over stacked blocks, which
+    amortizes the per-array dispatch overhead.  Arrays past
+    :data:`_STACK_LIMIT_BYTES` stream through plain ``+=`` instead —
+    stacking full cube pages would copy every operand once just to add
+    it, doubling the memory traffic of an already memory-bound loop.
+    """
+    if not arrays:
+        raise DimensionError("sum_arrays needs at least one array")
+    if len(arrays) == 1:
+        return np.array(arrays[0], dtype=np.int64, copy=True)
+    total = np.zeros(arrays[0].shape, dtype=np.int64)
+    if arrays[0].nbytes > _STACK_LIMIT_BYTES:
+        for array in arrays:
+            total += array
+        return total
+    for start in range(0, len(arrays), _REDUCE_CHUNK):
+        chunk = arrays[start : start + _REDUCE_CHUNK]
+        if len(chunk) == 1:
+            total += chunk[0]
+        else:
+            total += np.add.reduce(np.stack(chunk))
+    return total
+
+
+def _coalesce(
+    cells: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce a COO batch to sorted unique cells with summed values.
+
+    The kernel under both sparse ``add`` and batched :func:`sum_cubes`:
+    one sort over the concatenated indices, one ``np.add.reduceat``
+    over the run boundaries, zeros dropped so the nonzero invariant
+    holds.
+    """
+    if cells.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    order = np.argsort(cells, kind="stable")
+    cells = cells[order]
+    values = values[order]
+    starts = np.flatnonzero(np.concatenate(([True], cells[1:] != cells[:-1])))
+    unique = cells[starts]
+    sums = np.add.reduceat(values, starts)
+    keep = sums != 0
+    if not bool(keep.all()):
+        unique = unique[keep]
+        sums = sums[keep]
+    return np.ascontiguousarray(unique), np.ascontiguousarray(sums)
+
+
 class DataCube:
     """A dense 4-D count cube for one temporal window.
 
@@ -57,29 +226,42 @@ class DataCube:
     key:
         The temporal key (day/week/month/year) this cube covers.
     counts:
-        ``int64`` ndarray of shape ``schema.shape``.
+        ``int64`` ndarray of shape ``schema.shape``.  May be a
+        read-only zero-copy view over a page buffer (the serializer's
+        fast path); mutating methods copy-on-write transparently.
     resolution:
         ``'coarse'`` for daily-crawl cubes (2-way update types),
         ``'full'`` after the monthly rebuild (4-way).
     """
 
-    schema: CubeSchema
-    key: TemporalKey
-    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
-    resolution: Resolution = RESOLUTION_FULL
-
-    def __post_init__(self) -> None:
-        if self.counts is None:
-            self.counts = np.zeros(self.schema.shape, dtype=np.int64)
+    def __init__(
+        self,
+        schema: CubeSchema,
+        key: TemporalKey,
+        counts: np.ndarray | None = None,
+        resolution: Resolution = RESOLUTION_FULL,
+    ) -> None:
+        self.schema = schema
+        self.key = key
+        if counts is None:
+            self.counts: np.ndarray = np.zeros(schema.shape, dtype=np.int64)
         else:
-            self.counts = np.asarray(self.counts, dtype=np.int64)
-            if self.counts.shape != self.schema.shape:
+            array = np.asarray(counts, dtype=np.int64)
+            if array.shape != schema.shape:
                 raise DimensionError(
-                    f"cube counts shape {self.counts.shape} does not match "
-                    f"schema shape {self.schema.shape}"
+                    f"cube counts shape {array.shape} does not match "
+                    f"schema shape {schema.shape}"
                 )
-        if self.resolution not in _VALID_RESOLUTIONS:
-            raise DimensionError(f"invalid resolution {self.resolution!r}")
+            self.counts = array
+        if resolution not in _VALID_RESOLUTIONS:
+            raise DimensionError(f"invalid resolution {resolution!r}")
+        self.resolution = resolution
+
+    def __repr__(self) -> str:
+        return (
+            f"DataCube(key={self.key}, resolution={self.resolution!r}, "
+            f"total={self.total})"
+        )
 
     # -- sizing ---------------------------------------------------------
 
@@ -93,21 +275,38 @@ class DataCube:
         return int(self.counts.nbytes)
 
     @property
+    def nnz(self) -> int:
+        """Number of populated (nonzero) cells."""
+        return int(np.count_nonzero(self.counts))
+
+    @property
+    def density(self) -> float:
+        """Populated fraction of the cube's cells."""
+        return self.nnz / self.cell_count
+
+    @property
     def total(self) -> int:
         """Total number of updates counted in this cube."""
         return int(self.counts.sum())
 
     # -- build ----------------------------------------------------------
 
+    def _ensure_writable(self) -> None:
+        """Copy-on-write for zero-copy page-backed count arrays."""
+        if not self.counts.flags.writeable:
+            self.counts = self.counts.copy()
+
     def record(
         self, element_type: str, country: str, road_type: str, update_type: str
     ) -> None:
         """Count one update in its cell."""
         coords = self.schema.encode(element_type, country, road_type, update_type)
+        self._ensure_writable()
         self.counts[coords] += 1
 
     def record_codes(self, coords: tuple[int, int, int, int], count: int = 1) -> None:
         """Count pre-encoded updates (hot path for the crawlers)."""
+        self._ensure_writable()
         self.counts[coords] += count
 
     def bulk_record(self, coded: np.ndarray) -> None:
@@ -119,22 +318,32 @@ class DataCube:
         coded = np.asarray(coded)
         if coded.ndim != 2 or coded.shape[1] != 4:
             raise DimensionError(f"expected (n, 4) coordinate array, got {coded.shape}")
+        self._ensure_writable()
         np.add.at(
             self.counts, (coded[:, 0], coded[:, 1], coded[:, 2], coded[:, 3]), 1
         )
 
-    def add(self, other: "DataCube") -> None:
+    def add(self, other: "AnyCube") -> None:
         """Accumulate another cube's counts into this one (rollup step).
 
-        The result is ``'full'`` resolution only if every contributor
-        is full; any coarse child makes the parent coarse.
+        Accepts either representation.  The result is ``'full'``
+        resolution only if every contributor is full; any coarse child
+        makes the parent coarse.
         """
         self._check_compatible(other)
-        self.counts += other.counts
+        self._ensure_writable()
+        if isinstance(other, SparseCube):
+            np.add.at(
+                self.counts,
+                np.unravel_index(other.cells, self.schema.shape),
+                other.values,
+            )
+        else:
+            self.counts += other.counts
         if other.resolution == RESOLUTION_COARSE:
             self.resolution = RESOLUTION_COARSE
 
-    def _check_compatible(self, other: "DataCube") -> None:
+    def _check_compatible(self, other: "AnyCube") -> None:
         if other.schema.shape != self.schema.shape:
             raise DimensionError(
                 f"cannot combine cubes of shapes {self.schema.shape} "
@@ -173,19 +382,9 @@ class DataCube:
             key is the empty tuple.
         """
         sub, kept_values = self._select(filters, group_by)
-        result: dict[tuple[str, ...], int] = {}
         if not group_by:
-            result[()] = int(sub.sum())
-            return result
-        # Sum out every axis not in group_by, then enumerate the rest.
-        flat = sub
-        it: Iterator[tuple[tuple[int, ...], np.integer]] = np.ndenumerate(flat)
-        for idx, value in it:
-            if value == 0:
-                continue
-            group = tuple(kept_values[axis][pos] for axis, pos in enumerate(idx))
-            result[group] = result.get(group, 0) + int(value)
-        return result
+            return {(): int(sub.sum())}
+        return _rows_from_nonzero(sub, kept_values)
 
     def aggregate_array(
         self,
@@ -207,40 +406,19 @@ class DataCube:
         filters: Mapping[str, Sequence[str] | None] | None,
         group_by: Sequence[str],
     ) -> tuple[np.ndarray, list[list[str]]]:
-        filters = filters or {}
-        for name in filters:
-            self.schema.axis(name)  # validate names eagerly
-        # Dedupe filter values up front (order-preserving): np.take
-        # with a repeated code selects the same slice twice, so e.g.
-        # countries=["DE", "DE"] would double-count DE.
-        deduped: dict[str, list[str] | None] = {
-            name: None if allowed is None else list(dict.fromkeys(allowed))
-            for name, allowed in filters.items()
-        }
+        codes_by_axis, labels_by_axis, _ = _resolve_selection(
+            self.schema, filters, group_by
+        )
         order = list(self.schema.AXES)
-        for name in group_by:
-            if name not in order:
-                raise DimensionError(f"unknown group-by axis {name!r}")
-        if len(set(group_by)) != len(group_by):
-            raise DimensionError(f"duplicate group-by axis in {group_by!r}")
-
         sub = self.counts
-        kept_axes: list[str] = []
         # Apply filters axis by axis via fancy indexing on one axis at
         # a time (np.ix_ would also work but this keeps slices cheap
         # when a filter is absent).
-        for axis_pos, name in enumerate(order):
-            allowed = deduped.get(name)
-            if allowed is None:
+        for axis_pos, codes in enumerate(codes_by_axis):
+            if codes is None:
                 continue
-            codes = self.schema.dimension(name).codes(allowed)
             sub = np.take(sub, codes, axis=axis_pos)
-        # Track the value labels remaining along each axis.
-        labels: list[list[str]] = []
-        for name in order:
-            allowed = deduped.get(name)
-            dim = self.schema.dimension(name)
-            labels.append(list(allowed) if allowed is not None else list(dim.values))
+        labels = [list(values) for values in labels_by_axis]
         # Sum out axes not grouped, back to front to keep positions stable.
         for axis_pos in reversed(range(len(order))):
             if order[axis_pos] not in group_by:
@@ -252,8 +430,6 @@ class DataCube:
             perm = [order.index(name) for name in group_by]
             sub = np.transpose(sub, perm)
             labels = [labels[i] for i in perm]
-            order = list(group_by)
-        kept_axes.extend(order)
         return sub, labels
 
     def copy(self) -> "DataCube":
@@ -264,7 +440,25 @@ class DataCube:
             resolution=self.resolution,
         )
 
+    def to_dense(self) -> "DataCube":
+        """This cube (already dense); interface parity with the sparse form."""
+        return self
+
+    def to_sparse(self) -> "SparseCube":
+        """The equivalent :class:`SparseCube` (copies the nonzero cells)."""
+        flat = np.ascontiguousarray(self.counts).reshape(-1)
+        cells = np.flatnonzero(flat)
+        return SparseCube(
+            schema=self.schema,
+            key=self.key,
+            cells=cells,
+            values=flat[cells],
+            resolution=self.resolution,
+        )
+
     def __eq__(self, other: object) -> bool:
+        if isinstance(other, SparseCube):
+            return other == self
         if not isinstance(other, DataCube):
             return NotImplemented
         return (
@@ -274,22 +468,409 @@ class DataCube:
             and bool(np.array_equal(self.counts, other.counts))
         )
 
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
 
-def empty_like(cube: DataCube, key: TemporalKey) -> DataCube:
-    """A zeroed cube sharing ``cube``'s schema, covering ``key``."""
+
+class SparseCube:
+    """A sorted-COO 4-D count cube: only nonzero cells are stored.
+
+    Attributes
+    ----------
+    schema / key / resolution:
+        As on :class:`DataCube`.
+    cells:
+        Strictly increasing ``int64`` array of *flat* cell indices
+        (C-order ravel of the 4-D coordinates).
+    values:
+        ``int64`` counts parallel to ``cells``; never zero.
+
+    The columnar pair is what the v3 page format serializes (delta
+    encoding over ``cells``, run-length encoding over ``values``) and
+    what batched rollups concatenate-and-reduce.  Invariants are
+    validated at construction so a buggy producer fails loudly instead
+    of corrupting aggregates.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        key: TemporalKey,
+        cells: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+        resolution: Resolution = RESOLUTION_FULL,
+    ) -> None:
+        self.schema = schema
+        self.key = key
+        if resolution not in _VALID_RESOLUTIONS:
+            raise DimensionError(f"invalid resolution {resolution!r}")
+        self.resolution = resolution
+        if cells is None and values is None:
+            self.cells: np.ndarray = np.empty(0, dtype=np.int64)
+            self.values: np.ndarray = np.empty(0, dtype=np.int64)
+            return
+        cell_array = np.ascontiguousarray(cells, dtype=np.int64)
+        value_array = np.ascontiguousarray(values, dtype=np.int64)
+        if cell_array.ndim != 1 or value_array.shape != cell_array.shape:
+            raise DimensionError(
+                f"cells/values must be parallel 1-D arrays, got shapes "
+                f"{cell_array.shape} and {value_array.shape}"
+            )
+        if cell_array.size:
+            if bool((np.diff(cell_array) <= 0).any()):
+                raise DimensionError("sparse cells must be strictly increasing")
+            if int(cell_array[0]) < 0 or int(cell_array[-1]) >= schema.cell_count:
+                raise DimensionError(
+                    f"sparse cell index out of range for {schema.cell_count} cells"
+                )
+            if bool((value_array == 0).any()):
+                raise DimensionError("sparse values must be nonzero")
+        self.cells = cell_array
+        self.values = value_array
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseCube(key={self.key}, resolution={self.resolution!r}, "
+            f"nnz={self.nnz}, total={self.total})"
+        )
+
+    # -- sizing ---------------------------------------------------------
+
+    @property
+    def cell_count(self) -> int:
+        return self.schema.cell_count
+
+    @property
+    def nnz(self) -> int:
+        return int(self.cells.size)
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.cell_count
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory payload bytes (16 per populated cell)."""
+        return int(self.cells.nbytes + self.values.nbytes)
+
+    @property
+    def total(self) -> int:
+        return int(self.values.sum())
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The dense count array (materialized on demand, O(cells)).
+
+        Provided for interface parity and diagnostics; hot paths use
+        the native sparse operations instead.
+        """
+        flat = np.zeros(self.cell_count, dtype=np.int64)
+        flat[self.cells] = self.values
+        return flat.reshape(self.schema.shape)
+
+    # -- build ----------------------------------------------------------
+
+    def record(
+        self, element_type: str, country: str, road_type: str, update_type: str
+    ) -> None:
+        """Count one update in its cell."""
+        coords = self.schema.encode(element_type, country, road_type, update_type)
+        self.record_codes(coords)
+
+    def record_codes(self, coords: tuple[int, int, int, int], count: int = 1) -> None:
+        """Count pre-encoded updates (O(nnz) insert; builds use bulk_record)."""
+        flat = int(np.ravel_multi_index(coords, self.schema.shape))
+        position = int(np.searchsorted(self.cells, flat))
+        if position < self.cells.size and int(self.cells[position]) == flat:
+            new_value = int(self.values[position]) + count
+            if new_value == 0:
+                self.cells = np.delete(self.cells, position)
+                self.values = np.delete(self.values, position)
+            else:
+                self.values[position] = new_value
+        elif count != 0:
+            self.cells = np.insert(self.cells, position, flat)
+            self.values = np.insert(self.values, position, count)
+
+    def bulk_record(self, coded: np.ndarray) -> None:
+        """Count a batch of pre-encoded updates in one vectorized merge."""
+        coded = np.asarray(coded)
+        if coded.ndim != 2 or coded.shape[1] != 4:
+            raise DimensionError(f"expected (n, 4) coordinate array, got {coded.shape}")
+        if not len(coded):
+            return
+        flat = np.ravel_multi_index(
+            (coded[:, 0], coded[:, 1], coded[:, 2], coded[:, 3]),
+            self.schema.shape,
+        )
+        new_cells, new_values = np.unique(flat, return_counts=True)
+        self._merge(new_cells.astype(np.int64), new_values.astype(np.int64))
+
+    def _merge(self, cells: np.ndarray, values: np.ndarray) -> None:
+        self.cells, self.values = _coalesce(
+            np.concatenate((self.cells, cells)),
+            np.concatenate((self.values, values)),
+        )
+
+    def add(self, other: "AnyCube") -> None:
+        """Accumulate another cube's counts (either form) into this one."""
+        if other.schema.shape != self.schema.shape:
+            raise DimensionError(
+                f"cannot combine cubes of shapes {self.schema.shape} "
+                f"and {other.schema.shape}"
+            )
+        if isinstance(other, SparseCube):
+            self._merge(other.cells, other.values)
+        else:
+            flat = np.ascontiguousarray(other.counts).reshape(-1)
+            cells = np.flatnonzero(flat)
+            self._merge(cells, flat[cells])
+        if other.resolution == RESOLUTION_COARSE:
+            self.resolution = RESOLUTION_COARSE
+
+    # -- representation switching ---------------------------------------
+
+    def to_dense(self) -> DataCube:
+        """The equivalent dense :class:`DataCube`."""
+        return DataCube(
+            schema=self.schema,
+            key=self.key,
+            counts=self.counts,
+            resolution=self.resolution,
+        )
+
+    def to_sparse(self) -> "SparseCube":
+        """This cube (already sparse); interface parity with the dense form."""
+        return self
+
+    def maybe_densify(
+        self, threshold: float = DEFAULT_SPARSE_THRESHOLD
+    ) -> "AnyCube":
+        """Densify when the populated fraction crosses ``threshold``."""
+        if self.density >= threshold:
+            return self.to_dense()
+        return self
+
+    # -- query ----------------------------------------------------------
+
+    def cell(
+        self, element_type: str, country: str, road_type: str, update_type: str
+    ) -> int:
+        coords = self.schema.encode(element_type, country, road_type, update_type)
+        flat = int(np.ravel_multi_index(coords, self.schema.shape))
+        position = int(np.searchsorted(self.cells, flat))
+        if position < self.cells.size and int(self.cells[position]) == flat:
+            return int(self.values[position])
+        return 0
+
+    def aggregate(
+        self,
+        filters: Mapping[str, Sequence[str] | None] | None = None,
+        group_by: Sequence[str] = (),
+    ) -> dict[tuple[str, ...], int]:
+        """Filter and aggregate natively on the sparse form.
+
+        Same contract as :meth:`DataCube.aggregate`; cost is O(nnz),
+        never O(cells).
+        """
+        reduced, labels = self.aggregate_array(filters, group_by)
+        if not group_by:
+            return {(): int(reduced)}
+        return _rows_from_nonzero(reduced, labels)
+
+    def aggregate_array(
+        self,
+        filters: Mapping[str, Sequence[str] | None] | None = None,
+        group_by: Sequence[str] = (),
+    ) -> tuple[np.ndarray, list[list[str]]]:
+        """Filter/group in one vectorized pass over the nonzero cells.
+
+        Returns the reduced dense array (small: one axis per group-by
+        entry) plus labels, exactly like the dense implementation —
+        the 540 K-cell cube itself is never materialized.
+        """
+        codes_by_axis, labels_by_axis, group_axes = _resolve_selection(
+            self.schema, filters, group_by
+        )
+        shape = self.schema.shape
+        coords = np.unravel_index(self.cells, shape)
+        mask = np.ones(self.cells.size, dtype=bool)
+        mapped: list[np.ndarray | None] = [None, None, None, None]
+        for axis, codes in enumerate(codes_by_axis):
+            if codes is None:
+                continue
+            lookup = np.full(shape[axis], -1, dtype=np.int64)
+            lookup[np.asarray(codes, dtype=np.int64)] = np.arange(
+                len(codes), dtype=np.int64
+            )
+            positions = lookup[coords[axis]]
+            mapped[axis] = positions
+            mask &= positions >= 0
+        labels = [labels_by_axis[axis] for axis in group_axes]
+        selected_values = self.values[mask]
+        if not group_axes:
+            return np.asarray(selected_values.sum(), dtype=np.int64), labels
+        out_shape = tuple(len(labels_by_axis[axis]) for axis in group_axes)
+        reduced = np.zeros(out_shape, dtype=np.int64)
+        out_coords = tuple(
+            (mapped[axis] if mapped[axis] is not None else coords[axis])[mask]
+            for axis in group_axes
+        )
+        np.add.at(reduced, out_coords, selected_values)
+        return reduced, labels
+
+    def copy(self) -> "SparseCube":
+        return SparseCube(
+            schema=self.schema,
+            key=self.key,
+            cells=self.cells.copy(),
+            values=self.values.copy(),
+            resolution=self.resolution,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SparseCube):
+            return (
+                self.key == other.key
+                and self.resolution == other.resolution
+                and self.schema.shape == other.schema.shape
+                and bool(np.array_equal(self.cells, other.cells))
+                and bool(np.array_equal(self.values, other.values))
+            )
+        if isinstance(other, DataCube):
+            if (
+                self.key != other.key
+                or self.resolution != other.resolution
+                or self.schema.shape != other.schema.shape
+            ):
+                return False
+            flat = np.ascontiguousarray(other.counts).reshape(-1)
+            cells = np.flatnonzero(flat)
+            return bool(
+                np.array_equal(self.cells, cells)
+                and np.array_equal(self.values, flat[cells])
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like DataCube
+
+
+#: Either cube representation; both implement the same interface.
+AnyCube = Union[DataCube, SparseCube]
+
+
+def as_dense(cube: AnyCube) -> DataCube:
+    """``cube`` in dense form (no copy when already dense)."""
+    return cube.to_dense()
+
+
+def as_sparse(cube: AnyCube) -> SparseCube:
+    """``cube`` in sparse form (no copy when already sparse)."""
+    return cube.to_sparse()
+
+
+def empty_like(cube: AnyCube, key: TemporalKey) -> DataCube:
+    """A zeroed dense cube sharing ``cube``'s schema, covering ``key``."""
     return DataCube(schema=cube.schema, key=key)
 
 
 def sum_cubes(
-    schema: CubeSchema, key: TemporalKey, children: Iterable[DataCube]
-) -> DataCube:
-    """Roll child cubes up into a parent cube for ``key``.
+    schema: CubeSchema,
+    key: TemporalKey,
+    children: Iterable[AnyCube],
+    sparse: bool | None = None,
+    sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
+) -> AnyCube:
+    """Roll child cubes up into a parent cube for ``key`` in one batch.
 
     This is the paper's index-maintenance step: a weekly cube is the sum
     of its seven dailies, a monthly cube the sum of four weeklies plus
     leftover dailies, a yearly cube the sum of twelve monthlies.
+
+    Children are merged in one vectorized pass per representation
+    rather than N sequential ``add`` calls: dense children reduce via
+    chunked ``np.add.reduce`` (:func:`sum_arrays`); sparse children via
+    one concatenate-sort-``reduceat`` (:func:`_coalesce`) while the
+    combined entry count stays small, switching to a dense
+    scatter-accumulator (each child's cells are already unique, so
+    ``flat[cells] += values`` is exact) once the inputs hold enough
+    entries that the O(M log M) sort would dominate the O(M + cells)
+    scatter — the month/quarter/year rollup regime, where the merged
+    cube usually densifies anyway.
+
+    ``sparse`` picks the result form: ``True``/``False`` force it;
+    ``None`` (default) keeps the historical dense result unless *every*
+    child is sparse, in which case the merged cube stays sparse until
+    its density crosses ``sparse_threshold`` (auto-densify).
     """
-    parent = DataCube(schema=schema, key=key)
-    for child in children:
-        parent.add(child)
-    return parent
+    kids = list(children)
+    resolution = RESOLUTION_FULL
+    dense_arrays: list[np.ndarray] = []
+    sparse_cells: list[np.ndarray] = []
+    sparse_values: list[np.ndarray] = []
+    for child in kids:
+        if child.schema.shape != schema.shape:
+            raise DimensionError(
+                f"cannot combine cubes of shapes {schema.shape} "
+                f"and {child.schema.shape}"
+            )
+        if child.resolution == RESOLUTION_COARSE:
+            resolution = RESOLUTION_COARSE
+        if isinstance(child, SparseCube):
+            sparse_cells.append(child.cells)
+            sparse_values.append(child.values)
+        else:
+            dense_arrays.append(child.counts)
+    if sparse is None:
+        make_sparse = bool(kids) and not dense_arrays
+    else:
+        make_sparse = sparse
+    cell_count = int(np.prod(schema.shape))
+    total_entries = sum(c.size for c in sparse_cells)
+    if make_sparse:
+        # Cost crossover: the sort-based coalesce is O(M log M) in the
+        # combined entry count M; a dense scatter pass is O(M + cells).
+        # Past M ~ cells/8 (or with any dense child, whose extraction
+        # already costs a full scan) the scatter wins.
+        if dense_arrays or total_entries >= cell_count // 8:
+            flat = np.zeros(cell_count, dtype=np.int64)
+            for array in dense_arrays:
+                flat += np.ascontiguousarray(array).reshape(-1)
+            for child_cells, child_values in zip(sparse_cells, sparse_values):
+                flat[child_cells] += child_values
+            if (
+                sparse is None
+                and np.count_nonzero(flat) >= sparse_threshold * cell_count
+            ):
+                # Would densify anyway — skip the COO round-trip.
+                return DataCube(
+                    schema=schema,
+                    key=key,
+                    counts=flat.reshape(schema.shape),
+                    resolution=resolution,
+                )
+            cells = np.flatnonzero(flat)
+            values = flat[cells]
+        elif sparse_cells:
+            cells, values = _coalesce(
+                np.concatenate(sparse_cells), np.concatenate(sparse_values)
+            )
+        else:
+            cells = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.int64)
+        merged = SparseCube(
+            schema=schema, key=key, cells=cells, values=values, resolution=resolution
+        )
+        if sparse is None:
+            return merged.maybe_densify(sparse_threshold)
+        return merged
+    if dense_arrays:
+        counts = sum_arrays(dense_arrays)
+    else:
+        counts = np.zeros(schema.shape, dtype=np.int64)
+    if sparse_cells:
+        # Per-child scatter adds: cells are unique within one child, so
+        # fancy-index ``+=`` is exact and avoids the coalesce sort.
+        flat_view = counts.reshape(-1)
+        for child_cells, child_values in zip(sparse_cells, sparse_values):
+            flat_view[child_cells] += child_values
+    return DataCube(schema=schema, key=key, counts=counts, resolution=resolution)

@@ -1,0 +1,10 @@
+"""Fixture: axis order on the sparse COO kernel path (strict package).
+
+The sparse page encoder flattens cube coordinates to cell indices, so
+an out-of-order axis tuple here silently permutes every decoded cell —
+exactly the bug class the cube-order rule exists to catch.
+"""
+
+SPARSE_DECODE_BAD = ("road_type", "country", "element_type", "update_type")
+SPARSE_DECODE_GOOD = ("element_type", "country", "road_type", "update_type")
+SPARSE_PARTIAL_GOOD = ("element_type", "update_type")

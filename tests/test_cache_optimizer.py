@@ -152,6 +152,91 @@ class TestCachePreload:
         assert daily_heavy.cached_count == 20
 
 
+class TestByteBudgetCache:
+    def test_negative_budget_rejected(self, year_index):
+        with pytest.raises(ConfigError):
+            CacheManager(year_index, slots=0, byte_budget=-1)
+
+    def test_preload_respects_byte_allotments(self, year_index, tiny_schema):
+        page = tiny_schema.cell_count * 8  # dense cube payload bytes
+        budget = 10 * page
+        cache = CacheManager(year_index, slots=0, byte_budget=budget)
+        cache.preload()
+        assert 0 < cache.cached_bytes <= budget
+        used = sum(
+            year_index.get(key).nbytes for key in cache.contents()
+        )
+        assert used == cache.cached_bytes
+
+    def test_preload_prefers_newest_per_level(self, year_index):
+        cache = CacheManager(
+            year_index,
+            slots=0,
+            byte_budget=4 * year_index.schema.cell_count * 8,
+            ratios=CacheRatios(1.0, 0.0, 0.0, 0.0),
+        )
+        cache.preload()
+        cached_days = sorted(k for k in cache.contents())
+        assert cached_days  # budget buys at least one daily cube
+        assert day_key(date(2022, 2, 28)) in cache.contents()
+        assert all(k.level is Level.DAY for k in cached_days)
+
+    def test_zero_budget_cache_is_empty(self, year_index):
+        cache = CacheManager(year_index, slots=99, byte_budget=0)
+        assert cache.preload() == 0
+        assert not cache.has_capacity
+
+    def test_admit_evicts_by_bytes(self, year_index):
+        page = year_index.schema.cell_count * 8
+        cache = CacheManager(
+            year_index, slots=0, byte_budget=2 * page, admit_on_miss=True
+        )
+        for day in (date(2021, 5, 1), date(2021, 5, 2), date(2021, 5, 3)):
+            cache.admit(year_index.get(day_key(day)))
+        assert cache.cached_bytes <= 2 * page
+        assert day_key(date(2021, 5, 1)) not in cache.contents()
+        assert day_key(date(2021, 5, 3)) in cache.contents()
+
+    def test_admit_rejects_cube_bigger_than_budget(self, year_index):
+        cache = CacheManager(
+            year_index, slots=0, byte_budget=8, admit_on_miss=True
+        )
+        cache.admit(year_index.get(day_key(date(2021, 5, 1))))
+        assert cache.cached_count == 0
+
+    def test_clear_resets_bytes(self, year_index):
+        page = year_index.schema.cell_count * 8
+        cache = CacheManager(year_index, slots=0, byte_budget=8 * page)
+        cache.preload()
+        assert cache.cached_bytes > 0
+        cache.clear()
+        assert cache.cached_bytes == 0
+
+    def test_sparse_cubes_stretch_the_budget(self, tiny_schema):
+        """Byte accounting is the point of the sparse form: the same
+        budget holds far more near-empty cubes than dense pages."""
+        from repro.storage.serializer import PAGE_VERSION_SPARSE
+
+        disk = InMemoryDisk(read_latency=0.0, write_latency=0.0)
+        index = HierarchicalIndex(
+            tiny_schema, disk, page_version=PAGE_VERSION_SPARSE, sparse=True
+        )
+        day = date(2021, 1, 1)
+        while day <= date(2021, 3, 31):
+            index.ingest_day(day, updates_for(day))
+            day += timedelta(days=1)
+        budget = 2 * tiny_schema.cell_count * 8  # two dense pages
+        cache = CacheManager(
+            index,
+            slots=0,
+            byte_budget=budget,
+            ratios=CacheRatios(1.0, 0.0, 0.0, 0.0),
+        )
+        cache.preload()
+        assert cache.cached_count > 2  # sparse: many cubes per "page"
+        assert cache.cached_bytes <= budget
+
+
 class TestLevelOptimizer:
     def test_paper_example_without_cache(self, year_index):
         """Jan 1 - Feb 15, 2022: with month-aligned weeks, the optimum

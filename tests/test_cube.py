@@ -9,12 +9,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.calendar import day_key, week_key
+from repro.core.calendar import day_key, month_key, week_key
 from repro.core.cube import (
+    DEFAULT_SPARSE_THRESHOLD,
     DataCube,
     RESOLUTION_COARSE,
     RESOLUTION_FULL,
+    SparseCube,
+    as_dense,
+    as_sparse,
     empty_like,
+    sum_arrays,
     sum_cubes,
 )
 from repro.core.dimensions import default_schema
@@ -286,3 +291,267 @@ class TestAggregation:
             cube.aggregate({axis: [value]})[()] for value in dim.values
         )
         assert parts == cube.total
+
+
+class TestSparseCube:
+    @pytest.fixture()
+    def pair(self, tiny_schema):
+        """The same five records in both representations."""
+        dense = DataCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+        sparse = SparseCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+        for record in (
+            ("way", "germany", "residential", "create"),
+            ("way", "germany", "residential", "create"),
+            ("way", "germany", "service", "geometry"),
+            ("node", "qatar", "primary", "create"),
+            ("relation", "united_states", "residential", "metadata"),
+        ):
+            dense.record(*record)
+            sparse.record(*record)
+        return dense, sparse
+
+    def test_new_sparse_cube_is_empty(self, tiny_schema):
+        cube = SparseCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+        assert cube.nnz == 0
+        assert cube.total == 0
+        assert cube.density == 0.0
+
+    def test_unsorted_cells_rejected(self, tiny_schema):
+        with pytest.raises(DimensionError, match="increasing"):
+            SparseCube(
+                schema=tiny_schema,
+                key=day_key(date(2021, 3, 5)),
+                cells=np.array([5, 2]),
+                values=np.array([1, 1]),
+            )
+
+    def test_out_of_range_cell_rejected(self, tiny_schema):
+        with pytest.raises(DimensionError, match="range"):
+            SparseCube(
+                schema=tiny_schema,
+                key=day_key(date(2021, 3, 5)),
+                cells=np.array([tiny_schema.cell_count]),
+                values=np.array([1]),
+            )
+
+    def test_zero_value_rejected(self, tiny_schema):
+        with pytest.raises(DimensionError, match="nonzero"):
+            SparseCube(
+                schema=tiny_schema,
+                key=day_key(date(2021, 3, 5)),
+                cells=np.array([3]),
+                values=np.array([0]),
+            )
+
+    def test_counts_match_dense(self, pair):
+        dense, sparse = pair
+        assert np.array_equal(sparse.counts, dense.counts)
+
+    def test_cross_form_equality(self, pair):
+        dense, sparse = pair
+        assert sparse == dense
+        assert dense == sparse
+        sparse.record("way", "qatar", "service", "delete")
+        assert sparse != dense
+
+    def test_cell_lookup_matches_dense(self, pair):
+        dense, sparse = pair
+        assert sparse.cell("way", "germany", "residential", "create") == 2
+        assert sparse.cell("node", "germany", "primary", "delete") == 0
+
+    def test_nbytes_is_16_per_populated_cell(self, pair):
+        _, sparse = pair
+        assert sparse.nbytes == sparse.nnz * 16
+        assert sparse.nbytes < sparse.cell_count * 8
+
+    def test_round_trip_through_forms(self, pair):
+        dense, sparse = pair
+        assert as_dense(sparse) == dense
+        assert as_sparse(dense) == sparse
+        assert as_sparse(sparse) is sparse
+
+    def test_add_dense_into_sparse(self, pair):
+        dense, sparse = pair
+        sparse.add(dense)
+        assert sparse.total == 2 * dense.total
+        assert np.array_equal(sparse.counts, 2 * dense.counts)
+
+    def test_record_codes_cancellation_removes_cell(self, tiny_schema):
+        sparse = SparseCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+        coords = tiny_schema.encode("way", "germany", "residential", "create")
+        sparse.record_codes(coords, count=2)
+        sparse.record_codes(coords, count=-2)
+        assert sparse.nnz == 0
+
+    def test_maybe_densify_threshold(self, pair):
+        _, sparse = pair
+        assert sparse.maybe_densify(0.5) is sparse
+        dense = sparse.maybe_densify(sparse.density)  # density >= threshold
+        assert isinstance(dense, DataCube)
+        assert dense == sparse
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_aggregate_parity_with_dense(self, data):
+        """Every filter/group-by combination agrees across forms."""
+        schema = default_schema(["a", "b", "c"], road_types=4)
+        dense = DataCube(schema=schema, key=day_key(date(2021, 1, 1)))
+        sparse = SparseCube(schema=schema, key=day_key(date(2021, 1, 1)))
+        records = data.draw(records_strategy(schema))
+        for record in records:
+            dense.record(*record)
+        coded = np.array(
+            [schema.encode(*record) for record in records], dtype=np.int64
+        ).reshape(-1, 4)
+        if len(records):
+            sparse.bulk_record(coded)
+        axes = data.draw(
+            st.lists(st.sampled_from(schema.AXES), unique=True, max_size=2)
+        )
+        filter_axis = data.draw(st.sampled_from(schema.AXES))
+        filters = {
+            filter_axis: list(schema.dimension(filter_axis).values[:2])
+        }
+        assert sparse.aggregate(filters, tuple(axes)) == dense.aggregate(
+            filters, tuple(axes)
+        )
+
+
+class TestSumCubesForms:
+    def _children(self, schema, days=7, sparse=False):
+        cubes = []
+        for day in range(1, days + 1):
+            cls = SparseCube if sparse else DataCube
+            child = cls(schema=schema, key=day_key(date(2021, 3, day)))
+            child.record("way", "germany", "residential", "create")
+            child.record("node", "qatar", "primary", "delete")
+            cubes.append(child)
+        return cubes
+
+    def test_all_dense_children_stay_dense(self, tiny_schema):
+        merged = sum_cubes(
+            tiny_schema, week_key(2021, 3, 0), self._children(tiny_schema)
+        )
+        assert isinstance(merged, DataCube)
+        assert merged.total == 14
+
+    def test_all_sparse_children_stay_sparse_below_threshold(self, tiny_schema):
+        merged = sum_cubes(
+            tiny_schema,
+            week_key(2021, 3, 0),
+            self._children(tiny_schema, sparse=True),
+        )
+        assert isinstance(merged, SparseCube)
+        assert merged.total == 14
+        assert merged.nnz == 2
+
+    def test_mixed_children_match_all_dense(self, tiny_schema):
+        dense = self._children(tiny_schema, days=4)
+        mixed = dense[:2] + [as_sparse(cube) for cube in dense[2:]]
+        expected = sum_cubes(tiny_schema, week_key(2021, 3, 0), dense)
+        merged = sum_cubes(tiny_schema, week_key(2021, 3, 0), mixed)
+        assert isinstance(merged, DataCube)
+        assert merged == expected
+
+    def test_forced_sparse_with_dense_children(self, tiny_schema):
+        dense = self._children(tiny_schema, days=4)
+        merged = sum_cubes(
+            tiny_schema, week_key(2021, 3, 0), dense, sparse=True
+        )
+        assert isinstance(merged, SparseCube)
+        assert merged == sum_cubes(tiny_schema, week_key(2021, 3, 0), dense)
+
+    def test_forced_dense_with_sparse_children(self, tiny_schema):
+        children = self._children(tiny_schema, sparse=True)
+        merged = sum_cubes(
+            tiny_schema, week_key(2021, 3, 0), children, sparse=False
+        )
+        assert isinstance(merged, DataCube)
+        assert merged.total == 14
+
+    def test_auto_densify_past_threshold(self):
+        schema = default_schema(["a"], road_types=2)  # 72 cells
+        children = []
+        for day in range(1, 4):
+            counts = np.arange(schema.cell_count, dtype=np.int64).reshape(
+                schema.shape
+            )
+            children.append(
+                as_sparse(
+                    DataCube(
+                        schema=schema, key=day_key(date(2021, 3, day)), counts=counts
+                    )
+                )
+            )
+        merged = sum_cubes(schema, week_key(2021, 3, 0), children)
+        assert isinstance(merged, DataCube)  # density ~1 >= threshold
+
+    def test_scatter_and_coalesce_paths_agree(self, tiny_schema):
+        """The large-batch scatter fast path must match the sort-based
+        coalesce merge exactly (regression for the crossover heuristic)."""
+        rng = np.random.default_rng(5)
+        children = []
+        for day in range(1, 31):
+            cells = np.sort(
+                rng.choice(tiny_schema.cell_count, size=40, replace=False)
+            ).astype(np.int64)
+            values = rng.integers(1, 9, size=40).astype(np.int64)
+            children.append(
+                SparseCube(
+                    schema=tiny_schema,
+                    key=day_key(date(2021, 3, day)),
+                    cells=cells,
+                    values=values,
+                )
+            )
+        # 30 x 40 = 1200 entries >= 288 // 8 cells: the scatter path.
+        merged = sum_cubes(tiny_schema, month_key(2021, 3), children)
+        reference = DataCube(schema=tiny_schema, key=month_key(2021, 3))
+        for child in children:
+            reference.add(child)
+        assert as_dense(merged) == reference
+        # The small-batch coalesce path agrees too (few enough entries
+        # that the crossover heuristic keeps the sort-based merge).
+        few = [
+            SparseCube(
+                schema=tiny_schema,
+                key=child.key,
+                cells=child.cells[:8],
+                values=child.values[:8],
+            )
+            for child in children[:2]
+        ]
+        small = sum_cubes(tiny_schema, month_key(2021, 3), few)
+        assert isinstance(small, SparseCube)
+        pair_reference = DataCube(schema=tiny_schema, key=month_key(2021, 3))
+        for child in few:
+            pair_reference.add(child)
+        assert small == pair_reference
+
+    def test_sum_arrays_small_and_streamed_agree(self):
+        rng = np.random.default_rng(9)
+        small = [rng.integers(0, 7, size=(3, 4, 2, 4)) for _ in range(40)]
+        expected = np.zeros((3, 4, 2, 4), dtype=np.int64)
+        for array in small:
+            expected += array
+        assert np.array_equal(sum_arrays(small), expected)
+        # Force the streaming branch with arrays past the stack limit.
+        big = [
+            rng.integers(0, 7, size=(3, 110, 110, 4)).astype(np.int64)
+            for _ in range(3)
+        ]
+        assert np.array_equal(sum_arrays(big), big[0] + big[1] + big[2])
+
+    def test_sum_arrays_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            sum_arrays([])
+
+    def test_copy_on_write_for_readonly_counts(self, tiny_schema):
+        counts = np.zeros(tiny_schema.shape, dtype=np.int64)
+        counts.flags.writeable = False
+        cube = DataCube(
+            schema=tiny_schema, key=day_key(date(2021, 3, 5)), counts=counts
+        )
+        cube.record("way", "germany", "residential", "create")  # must not raise
+        assert cube.total == 1
+        assert counts.sum() == 0  # the read-only source is untouched

@@ -54,7 +54,7 @@ def test_fixture_tree_rule_counts(fixture_report: LintReport) -> None:
         "except-pass": 1,
         "broad-except": 1,
         "mutable-default": 1,
-        "cube-order": 2,
+        "cube-order": 3,
         "metric-name": 6,
         "todo": 1,
     }
@@ -135,6 +135,13 @@ def test_cube_order_strict_vs_presentation(fixture_report: LintReport) -> None:
     by_path = {f.path: f for f in found}
     # Strict package: even a 2-axis subset must be ordered.
     assert "('country', 'element_type')" in by_path["storage/pages.py"].message
+    # The sparse decode path is storage too: a permuted full tuple is
+    # flagged while the ordered full/partial tuples next to it are not.
+    assert "SPARSE_DECODE_BAD" in by_path["storage/sparse_kernel.py"].context
+    assert not any(
+        "SPARSE_DECODE_GOOD" in f.context or "SPARSE_PARTIAL_GOOD" in f.context
+        for f in found
+    )
     # Presentation package: partial tuples are a user choice, full order is not.
     assert "FULL_BAD" in by_path["dashboard/charts.py"].context
 

@@ -4,18 +4,23 @@ from __future__ import annotations
 
 from datetime import date
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.calendar import day_key, month_key, week_key, year_key
-from repro.core.cube import DataCube, RESOLUTION_COARSE
+from repro.core.cube import DataCube, RESOLUTION_COARSE, SparseCube, as_sparse
 from repro.errors import ConfigError, PageCorruptError, PageNotFoundError
 from repro.storage.disk import DirectoryDisk, InMemoryDisk
 from repro.storage.serializer import (
     HEADER_SIZE,
+    PAGE_VERSION_COMPRESSED,
+    PAGE_VERSION_RAW,
+    PAGE_VERSION_SPARSE,
     cube_page_size,
     deserialize_cube,
+    page_version,
     serialize_cube,
 )
 
@@ -279,7 +284,6 @@ class TestSerializer:
     @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30))
     @settings(max_examples=25)
     def test_roundtrip_arbitrary_counts(self, values):
-        import numpy as np
         from repro.core.dimensions import default_schema
 
         tiny_schema = default_schema(
@@ -291,3 +295,176 @@ class TestSerializer:
             flat[index % flat.size] = value
         restored = deserialize_cube(serialize_cube(cube), tiny_schema)
         assert np.array_equal(restored.counts, cube.counts)
+
+
+class TestRawPageZeroCopy:
+    """The v1 fast path hands the cube a read-only view of the page."""
+
+    def _page(self, schema):
+        cube = DataCube(schema=schema, key=day_key(date(2021, 3, 5)))
+        cube.record("way", "germany", "residential", "create")
+        return cube, serialize_cube(cube, version=PAGE_VERSION_RAW)
+
+    def test_counts_share_page_memory(self, tiny_schema):
+        _, data = self._page(tiny_schema)
+        restored = deserialize_cube(data, tiny_schema)
+        assert np.shares_memory(
+            restored.counts, np.frombuffer(data, dtype=np.uint8)
+        )
+        assert not restored.counts.flags.writeable
+
+    def test_mutation_copies_instead_of_raising(self, tiny_schema):
+        cube, data = self._page(tiny_schema)
+        restored = deserialize_cube(data, tiny_schema)
+        restored.record("node", "qatar", "primary", "delete")
+        assert restored.total == cube.total + 1
+        # The original page bytes are untouched (copy-on-write).
+        assert deserialize_cube(data, tiny_schema) == cube
+
+    def test_add_into_zero_copy_cube(self, tiny_schema):
+        cube, data = self._page(tiny_schema)
+        restored = deserialize_cube(data, tiny_schema)
+        restored.add(cube)
+        assert restored.total == 2 * cube.total
+
+
+class TestSparsePageFormat:
+    def _cube(self, schema, sparse=True, key=None, resolution="full"):
+        cls = SparseCube if sparse else DataCube
+        cube = cls(schema=schema, key=key or day_key(date(2021, 3, 5)), resolution=resolution)
+        cube.record("way", "germany", "residential", "create")
+        cube.record("way", "germany", "residential", "create")
+        cube.record("node", "qatar", "primary", "geometry")
+        return cube
+
+    def test_roundtrip_stays_sparse(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        data = serialize_cube(cube, version=PAGE_VERSION_SPARSE)
+        assert page_version(data) == PAGE_VERSION_SPARSE
+        restored = deserialize_cube(data, tiny_schema)
+        assert isinstance(restored, SparseCube)
+        assert restored == cube
+
+    def test_dense_cube_serializes_to_v3(self, tiny_schema):
+        cube = self._cube(tiny_schema, sparse=False)
+        data = serialize_cube(cube, version=PAGE_VERSION_SPARSE)
+        assert deserialize_cube(data, tiny_schema) == cube
+
+    def test_v3_page_much_smaller_than_raw(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        raw = serialize_cube(cube, version=PAGE_VERSION_RAW)
+        packed = serialize_cube(cube, version=PAGE_VERSION_SPARSE)
+        assert len(packed) < len(raw) / 5
+
+    def test_empty_cube_roundtrip(self, tiny_schema):
+        cube = SparseCube(schema=tiny_schema, key=day_key(date(2021, 3, 5)))
+        data = serialize_cube(cube, version=PAGE_VERSION_SPARSE)
+        restored = deserialize_cube(data, tiny_schema)
+        assert restored.nnz == 0
+        assert restored == cube
+
+    def test_wide_values_fall_back_to_raw(self, tiny_schema):
+        counts = (
+            np.arange(tiny_schema.cell_count, dtype=np.int64) * (1 << 40) + 1
+        ).reshape(tiny_schema.shape)
+        cube = DataCube(
+            schema=tiny_schema, key=day_key(date(2021, 3, 5)), counts=counts
+        )
+        data = serialize_cube(cube, version=PAGE_VERSION_SPARSE)
+        assert page_version(data) == PAGE_VERSION_RAW  # encoded >= raw
+        assert deserialize_cube(data, tiny_schema) == cube
+
+    def test_roundtrip_preserves_resolution(self, tiny_schema):
+        cube = self._cube(tiny_schema, resolution=RESOLUTION_COARSE)
+        restored = deserialize_cube(
+            serialize_cube(cube, version=PAGE_VERSION_SPARSE), tiny_schema
+        )
+        assert restored.resolution == RESOLUTION_COARSE
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            day_key(date(2021, 3, 5)),
+            week_key(2021, 3, 2),
+            month_key(2021, 3),
+            year_key(2021),
+        ],
+    )
+    def test_roundtrip_all_levels(self, tiny_schema, key):
+        cube = SparseCube(schema=tiny_schema, key=key)
+        cube.record("way", "germany", "residential", "create")
+        restored = deserialize_cube(
+            serialize_cube(cube, version=PAGE_VERSION_SPARSE), tiny_schema
+        )
+        assert restored.key == key
+
+    def test_header_bit_flip_detected_before_decode(self, tiny_schema):
+        """v3's CRC covers the header too: corrupting the temporal-key
+        fields must raise PageCorruptError, not a calendar error."""
+        cube = self._cube(tiny_schema)
+        data = bytearray(serialize_cube(cube, version=PAGE_VERSION_SPARSE))
+        data[8] ^= 0xFF  # inside the header's key fields
+        with pytest.raises(PageCorruptError):
+            deserialize_cube(bytes(data), tiny_schema)
+
+    def test_payload_bit_flip_detected(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        data = bytearray(serialize_cube(cube, version=PAGE_VERSION_SPARSE))
+        data[HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(PageCorruptError):
+            deserialize_cube(bytes(data), tiny_schema)
+
+    def test_truncated_page_detected(self, tiny_schema):
+        cube = self._cube(tiny_schema)
+        data = serialize_cube(cube, version=PAGE_VERSION_SPARSE)
+        with pytest.raises(PageCorruptError):
+            deserialize_cube(data[:-1], tiny_schema)
+
+    def test_unknown_version_rejected(self, tiny_schema):
+        with pytest.raises(ConfigError):
+            serialize_cube(self._cube(tiny_schema), version=9)
+
+    def test_compress_conflicts_with_other_versions(self, tiny_schema):
+        with pytest.raises(ConfigError):
+            serialize_cube(
+                self._cube(tiny_schema),
+                compress=True,
+                version=PAGE_VERSION_SPARSE,
+            )
+
+    def test_index_reads_mixed_versions(self, tiny_schema):
+        """v1, v2, and v3 pages coexist in one store — the format is
+        self-describing, so upgrading page_version needs no migration."""
+        from repro.core.hierarchy import HierarchicalIndex
+
+        disk = InMemoryDisk(read_latency=0, write_latency=0)
+        cubes = {}
+        for version, day in (
+            (PAGE_VERSION_RAW, 1),
+            (PAGE_VERSION_COMPRESSED, 2),
+            (PAGE_VERSION_SPARSE, 3),
+        ):
+            index = HierarchicalIndex(tiny_schema, disk, page_version=version)
+            cube = self._cube(
+                tiny_schema, sparse=False, key=day_key(date(2021, 1, day))
+            )
+            index.put(cube)
+            cubes[cube.key] = cube
+        reader = HierarchicalIndex(
+            tiny_schema, disk, page_version=PAGE_VERSION_SPARSE
+        )
+        for key, cube in cubes.items():
+            assert reader.get(key) == cube
+
+    def test_sparse_index_round_trip(self, tiny_schema):
+        from repro.core.hierarchy import HierarchicalIndex
+
+        disk = InMemoryDisk(read_latency=0, write_latency=0)
+        index = HierarchicalIndex(
+            tiny_schema, disk, page_version=PAGE_VERSION_SPARSE, sparse=True
+        )
+        cube = self._cube(tiny_schema)
+        index.put(cube)
+        restored = index.get(cube.key)
+        assert isinstance(restored, SparseCube)
+        assert restored == cube

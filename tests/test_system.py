@@ -165,6 +165,75 @@ class TestCacheFreshness:
         assert loaded == ingested_system.cache.cached_count > 0
 
 
+class TestColumnarKernelParity:
+    """The sparse/v3/byte-cache configuration is a pure representation
+    change: every dashboard answer must match the default deployment."""
+
+    @pytest.fixture(scope="class")
+    def system_pair(self, atlas):
+        def build(**overrides):
+            sim = SimulationConfig(
+                seed=27, mapper_count=20, base_sessions_per_day=5, nodes_per_country=8
+            )
+            settings = {"road_types": 8, "cache_slots": 12, "simulation": sim}
+            settings.update(overrides)
+            system = RasedSystem.create(
+                atlas=atlas,
+                store=InMemoryDisk(read_latency=0, write_latency=0),
+                config=SystemConfig(**settings),
+            )
+            system.simulate_and_ingest(date(2021, 1, 1), date(2021, 2, 14))
+            system.warm_cache()
+            return system
+
+        default = build()
+        columnar = build(
+            page_version=3,
+            sparse_cubes=True,
+            cache_slots=0,
+            cache_bytes=512 * 1024,
+        )
+        return default, columnar
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            AnalysisQuery(start=date(2021, 1, 1), end=date(2021, 2, 14)),
+            AnalysisQuery(
+                start=date(2021, 1, 1),
+                end=date(2021, 2, 14),
+                group_by=("country", "update_type"),
+            ),
+            AnalysisQuery(
+                start=date(2021, 1, 5),
+                end=date(2021, 2, 9),
+                group_by=("date",),
+            ),
+            AnalysisQuery(
+                start=date(2021, 1, 1),
+                end=date(2021, 1, 31),
+                countries=("germany",),
+                group_by=("element_type", "road_type"),
+            ),
+        ],
+    )
+    def test_answers_identical(self, system_pair, query):
+        default, columnar = system_pair
+        assert (
+            columnar.dashboard.analysis(query).rows
+            == default.dashboard.analysis(query).rows
+        )
+
+    def test_sparse_store_is_smaller(self, system_pair):
+        default, columnar = system_pair
+        assert columnar.store.stored_bytes < default.store.stored_bytes / 3
+
+    def test_byte_cache_is_resident(self, system_pair):
+        _, columnar = system_pair
+        assert columnar.cache.byte_budget == 512 * 1024
+        assert 0 < columnar.cache.cached_bytes <= 512 * 1024
+
+
 class TestIngestReports:
     def test_report_aggregates_across_days(self, atlas):
         system = RasedSystem.create(

@@ -50,6 +50,8 @@ def _open_system(
     seed: int = 42,
     cache_slots: int = 64,
     result_cache_slots: int = 0,
+    shards: int = 1,
+    scatter_threads: int | None = None,
     durable: bool = False,
     feed_retries: int = 1,
     feed_breaker: int = 0,
@@ -73,6 +75,8 @@ def _open_system(
         cache_slots=cache_slots,
         simulation=SimulationConfig(seed=seed),
         result_cache_slots=result_cache_slots,
+        shards=shards,
+        scatter_threads=scatter_threads,
         durable_ingest=durable,
         feed_retry_attempts=feed_retries,
         feed_breaker_threshold=feed_breaker,
@@ -117,6 +121,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_ingest(args: argparse.Namespace) -> int:
     system = _open_system(
         args.root,
+        shards=args.shards,
         durable=args.durable,
         feed_retries=args.feed_retries,
         feed_breaker=args.feed_breaker,
@@ -289,6 +294,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.root,
         cache_slots=args.cache_slots,
         result_cache_slots=args.result_cache_slots,
+        shards=args.shards,
+        scatter_threads=args.scatter_threads,
         durable=args.durable,
         admission=admission_config,
         tracing=not args.no_tracing,
@@ -299,6 +306,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if system.wal is not None:
         system.pipeline.recover()
     system.warm_cache()
+    if args.shards > 1 and system.index.coverage() is None:
+        print(
+            f"warning: the {args.shards} shard stores under {args.root} "
+            "are empty — this deployment was likely indexed unsharded; "
+            f"re-run `ingest --shards {args.shards}` (placement is "
+            "deterministic, so ingest and serve agree on it)"
+        )
+    dispatcher = None
+    if args.workers > 0:
+        from repro.dashboard.procpool import ProcessPoolDispatcher
+
+        # Workers re-open the deployment read-only from the same root
+        # (fork inherits this closure, so nothing here is pickled).
+        # Each worker owns its own caches; admission stays in the
+        # serving process — it is the front door, not the compute.
+        serve_root = args.root
+        serve_cache_slots = args.cache_slots
+        serve_result_slots = args.result_cache_slots
+        serve_shards = args.shards
+
+        def _worker_dashboard():
+            worker = _open_system(
+                serve_root,
+                cache_slots=serve_cache_slots,
+                result_cache_slots=serve_result_slots,
+                shards=serve_shards,
+                tracing=False,
+            )
+            worker.warm_cache()
+            return worker.dashboard
+
+        dispatcher = ProcessPoolDispatcher(
+            _worker_dashboard, workers=args.workers
+        )
+        dispatcher.prewarm()
     events = (
         EventLog.open(args.log_events) if args.log_events else EventLog()
     )
@@ -314,9 +356,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         recorder=system.recorder,
         slo=system.slo,
         events=events,
+        dispatcher=dispatcher,
     )
     server.start()
-    print(f"dashboard API on {server.url} (Ctrl-C to stop)")
+    mode = (
+        f"{args.workers} worker processes"
+        if args.workers > 0
+        else "in-process compute"
+    )
+    print(
+        f"dashboard API on {server.url} "
+        f"({args.shards} shard(s), {mode}; Ctrl-C to stop)"
+    )
     try:
         import threading
 
@@ -325,6 +376,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        if dispatcher is not None:
+            dispatcher.shutdown()
         events.close()
     return 0
 
@@ -375,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     ingest = sub.add_parser("ingest", help="crawl and index unprocessed diffs")
     ingest.add_argument("--root", required=True)
+    ingest.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="index into N shard stores (<root>/pages-shard<i>, "
+        "rendezvous-placed); serve the deployment with the same "
+        "--shards value (incompatible with --durable for now)",
+    )
     ingest.add_argument(
         "--durable",
         action="store_true",
@@ -453,6 +514,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--single-thread",
         action="store_true",
         help="serve requests serially (concurrency baseline)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition cubes across N shard stores (<root>/pages-shard<i>) "
+        "with consistent placement and scatter-gather execution "
+        "(1 = the single-process engine)",
+    )
+    serve.add_argument(
+        "--scatter-threads",
+        type=int,
+        default=None,
+        help="scatter pool width for sharded execution (default "
+        "min(8, shards); raise for in-process serving so concurrent "
+        "requests' subqueries don't queue behind one another)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="compute POST /analysis* requests in N long-lived worker "
+        "processes instead of request threads (0 = in-process); "
+        "sidesteps the GIL for concurrent analysis traffic",
     )
     serve.add_argument(
         "--durable",

@@ -1,0 +1,218 @@
+"""Process-pool dispatch of analysis requests.
+
+The threaded :class:`~repro.dashboard.server.DashboardServer` scales
+until the GIL does: sixteen request threads aggregating cubes take
+turns on one interpreter lock, and each request additionally pays a
+thread spawn (``ThreadingHTTPServer`` starts one per connection).
+This module moves the *compute* — body parsing, planning, cube
+aggregation, result shaping, response encoding — into a pool of
+long-lived worker **processes**, each owning a full
+:class:`~repro.dashboard.api.Dashboard` over the same on-disk
+deployment.  Request threads become thin I/O shims: read the body
+bytes, hand them to a worker, relay the ``(status, json_bytes)`` that
+comes back.  Bytes in, bytes out is deliberate: pickling two byte
+strings costs the parent almost nothing, where pickling a parsed
+payload and re-encoding the result document would put JSON work back
+on the serving process's core.
+
+Consistent cube placement (:mod:`repro.core.shard`) is what makes the
+fan-out coherent: every worker computes the same shard mapping from
+the same salt — a keyed BLAKE2b digest, deliberately not Python's
+per-process ``hash()`` — so all workers read any given cube from the
+same shard store and their caches warm the same way.
+
+Two deliberate boundaries:
+
+* **No transport in here.**  The dispatcher consumes parsed JSON
+  payloads and returns JSON documents plus an HTTP status; the
+  existing ``DashboardServer`` (and its admission front door, which is
+  transport-agnostic) stays the only HTTP surface.
+* **No system assembly in here.**  Workers build their dashboard from
+  a caller-supplied zero-argument factory; this module cannot import
+  :mod:`repro.system` (the dashboard layer sits below it), and the CLI
+  supplies a factory that re-opens the deployment read-only from its
+  root directory.
+
+The pool uses the ``fork`` start method: the factory callable is
+passed as an ``initializer`` argument, which fork *inherits* rather
+than pickles, so closures over local configuration work.  Per-request
+arguments do cross the process boundary and must stay picklable —
+which is why the deadline travels as a plain remaining-milliseconds
+float and is re-entered as a fresh :class:`~repro.core.deadline.Deadline`
+scope inside the worker.  Spans cannot cross at all; each worker's
+executions open their own trace trees in their own recorders.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+from repro.dashboard.api import Dashboard
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    QueryError,
+    RasedError,
+)
+from repro.core.deadline import Deadline, deadline_scope
+
+__all__ = ["ProcessPoolDispatcher", "DISPATCH_KINDS"]
+
+#: Request kinds the dispatcher understands, mirroring the three
+#: ``POST /analysis*`` endpoint bodies.
+DISPATCH_KINDS = ("analysis", "live", "sql")
+
+#: The worker process's dashboard, built once by :func:`_worker_init`.
+_WORKER_DASHBOARD: Dashboard | None = None
+
+
+def _worker_init(factory: Callable[[], Dashboard]) -> None:
+    """Pool initializer: assemble this worker's dashboard exactly once."""
+    global _WORKER_DASHBOARD
+    _WORKER_DASHBOARD = factory()
+
+
+def _worker_warm(seconds: float) -> int:
+    """Hold a worker busy briefly so every pool slot actually spawns."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def _encode(document: dict[str, object]) -> bytes:
+    # Mirrors DashboardServer._send (default=str covers non-JSON
+    # leaves in span attributes), so the wire bytes are identical to
+    # an in-process response.
+    return json.dumps(document, default=str).encode("utf-8")
+
+
+def _worker_run(
+    kind: str,
+    body: bytes,
+    deadline_ms: float | None,
+) -> tuple[int, bytes]:
+    """Execute one analysis request; returns ``(status, json_bytes)``.
+
+    The error -> status mapping mirrors the HTTP handler's
+    ``_run_guarded`` exactly, so clients cannot tell from a response
+    whether it was computed in-process or in a worker.  Failures are
+    *returned*, never raised: a raised exception would surface as a
+    broken future in the serving thread and map to a bare 500 with
+    less detail.
+    """
+    dashboard = _WORKER_DASHBOARD
+    if dashboard is None:
+        return 500, _encode({"error": "worker pool initializer did not run"})
+    # The remaining budget was measured at dispatch; queue wait inside
+    # the pool is not re-charged (a few microseconds against budgets
+    # measured in tens of milliseconds).
+    deadline = (
+        Deadline(deadline_ms / 1000.0)
+        if deadline_ms is not None and deadline_ms > 0.0
+        else None
+    )
+    from repro.dashboard.server import query_from_json, result_to_json
+
+    try:
+        payload = json.loads(body or b"{}")
+        with deadline_scope(deadline):
+            if kind == "sql":
+                sql = payload.get("sql")
+                if not isinstance(sql, str):
+                    raise QueryError('body must be {"sql": "SELECT ..."}')
+                result = dashboard.analysis_sql(sql)
+            elif kind == "live":
+                result = dashboard.analysis_live(query_from_json(payload))
+            elif kind == "analysis":
+                result = dashboard.analysis(query_from_json(payload))
+            else:
+                raise QueryError(f"unknown dispatch kind {kind!r}")
+        return 200, _encode(result_to_json(result))
+    except DeadlineExceededError as exc:
+        return 504, _encode({"error": str(exc)})
+    except (RasedError, ValueError) as exc:
+        return 400, _encode({"error": str(exc)})
+    except Exception as exc:  # lint: allow[broad-except] worker boundary: every failure must map to a JSON 500, not a broken future
+        return 500, _encode({"error": f"internal error: {exc}"})
+
+
+class ProcessPoolDispatcher:
+    """A pool of dashboard-owning worker processes behind the server.
+
+    Construct with a zero-argument ``factory`` that builds one
+    :class:`Dashboard` (each worker calls it once, at spawn), hand the
+    dispatcher to :class:`~repro.dashboard.server.DashboardServer`, and
+    every ``POST /analysis*`` request is computed out-of-process.
+    The owner that built the dispatcher also shuts it down —
+    ``server.stop()`` deliberately leaves it running so one pool can
+    outlive server restarts.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Dashboard],
+        workers: int,
+        start_method: str = "fork",
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        context = multiprocessing.get_context(start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(factory,),
+        )
+
+    def prewarm(self, hold_seconds: float = 0.05) -> list[int]:
+        """Spin up (and initialize) every worker before traffic arrives.
+
+        Submits one short blocking task per slot; because an idle pool
+        assigns each to a fresh process, all ``workers`` dashboards are
+        built here rather than under the first client burst.  Returns
+        the worker PIDs (with duplicates, if a worker double-dipped).
+        """
+        futures = [
+            # Deadlines/spans don't apply: these tasks predate any
+            # request context by construction.
+            self._pool.submit(_worker_warm, hold_seconds)  # lint: allow[conc-context] pre-request warmup; no ambient context exists yet
+            for _ in range(self.workers)
+        ]
+        return [future.result() for future in futures]
+
+    def run(
+        self,
+        kind: str,
+        body: bytes,
+        deadline_ms: float | None = None,
+    ) -> tuple[int, bytes]:
+        """Dispatch one request and block for its ``(status, json_bytes)``.
+
+        ``body`` is the raw (unparsed) request body; the worker parses
+        it and encodes the response document, so only byte strings
+        cross the pickle boundary.  The calling thread is an I/O shim
+        awaiting a remote result, so blocking here is the point.  The
+        deadline crosses as plain milliseconds and is re-entered inside
+        the worker; spans cannot cross a process boundary at all (each
+        worker traces its own executions), so there is no ambient
+        context to hand off.
+        """
+        if kind not in DISPATCH_KINDS:
+            raise QueryError(f"unknown dispatch kind {kind!r}")
+        future = self._pool.submit(_worker_run, kind, body, deadline_ms)  # lint: allow[conc-context] deadline forwarded explicitly as ms and re-scoped in the worker; spans cannot cross processes
+        return future.result()
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessPoolDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

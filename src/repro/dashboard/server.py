@@ -57,10 +57,11 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.baseline.sqlgen import to_sql
 from repro.core.calendar import Level
-from repro.core.deadline import deadline_scope
+from repro.core.deadline import current_deadline, deadline_scope
 from repro.core.query import AnalysisQuery, QueryResult
 from repro.dashboard.admission import AdmissionController
 from repro.dashboard.api import Dashboard
+from repro.dashboard.procpool import ProcessPoolDispatcher
 from repro.errors import DeadlineExceededError, QueryError, RasedError
 from repro.obs import EventLog, FlightRecorder, QueryTrace, SLOTracker
 from repro.obs.span import Tracer, current_trace_id
@@ -225,6 +226,9 @@ class _Handler(BaseHTTPRequestHandler):
     recorder: FlightRecorder | None = None
     slo: SLOTracker | None = None
     events: EventLog | None = None
+    #: When set, ``POST /analysis*`` compute runs in worker processes;
+    #: this thread only parses the body and relays the answer.
+    dispatcher: ProcessPoolDispatcher | None = None
 
     # Silence per-request logging; tests drive many requests.
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
@@ -425,6 +429,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "pages": index.total_pages(),
                 "quarantined_cubes": quarantined,
             }
+            # Sharded deployments expose per-shard placement health;
+            # probed by capability so the single-process engine's
+            # /health document stays byte-stable.
+            shard_status = getattr(
+                self.dashboard.executor, "shard_status", None
+            )
+            if callable(shard_status):
+                payload["shards"] = shard_status()
             if self.slo is not None:
                 firing = [a.to_dict() for a in self.slo.alerts() if a.firing]
                 payload["slo"] = {"burning": bool(firing), "firing": firing}
@@ -564,6 +576,31 @@ class _Handler(BaseHTTPRequestHandler):
         except _BodyTooLarge as exc:
             self._send(413, {"error": str(exc)})
             return
+        dispatcher = self.dispatcher
+        if dispatcher is not None:
+            kind = {
+                "/analysis": "analysis",
+                "/analysis/live": "live",
+                "/analysis/sql": "sql",
+            }[parsed.path]
+            # The admission deadline cannot cross the process boundary
+            # as an object; forward what remains of it in milliseconds
+            # (floored at 1 µs so an expired budget still yields the
+            # worker's 504, not a ConfigError).  The body crosses raw:
+            # the worker parses it (invalid JSON becomes its 400) and
+            # returns encoded response bytes, keeping JSON work off
+            # this thread's core.
+            deadline = current_deadline()
+            deadline_ms = (
+                max(deadline.remaining(), 1e-6) * 1000.0
+                if deadline is not None
+                else None
+            )
+            status, response = dispatcher.run(kind, body, deadline_ms)
+            if status == 504 and self.admission is not None:
+                self.admission.record_deadline_hit(_path_family(parsed.path))
+            self._send_bytes(status, response, "application/json")
+            return
         payload = json.loads(body or b"{}")
         if parsed.path == "/analysis/sql":
             sql = payload.get("sql")
@@ -629,12 +666,16 @@ class DashboardServer:
         recorder: FlightRecorder | None = None,
         slo: SLOTracker | None = None,
         events: EventLog | None = None,
+        dispatcher: ProcessPoolDispatcher | None = None,
     ) -> None:
         self._tracker = _RequestTracker()
         self._admission = admission
         self._drain_timeout = drain_timeout
         self._recorder = recorder
         self._slo = slo
+        #: Owned by whoever built it: ``stop()`` does not shut the pool
+        #: down, so one pool can outlive a server restart.
+        self.dispatcher = dispatcher
         handler = type(
             "BoundHandler",
             (_Handler,),
@@ -647,6 +688,7 @@ class DashboardServer:
                 "recorder": recorder,
                 "slo": slo,
                 "events": events,
+                "dispatcher": dispatcher,
             },
         )
         server_cls = _ThreadedServer if threaded else _SerialServer

@@ -29,6 +29,13 @@ from repro.core.iosched import IOScheduler
 from repro.core.optimizer import LevelOptimizer
 from repro.core.percentages import NetworkSizeRegistry
 from repro.core.resultcache import EpochCounter, ResultCache
+from repro.core.shard import (
+    ScatterGatherExecutor,
+    ShardedCacheManager,
+    ShardedIndex,
+    shard_stores_for,
+)
+from repro.errors import ConfigError
 from repro.collection.daily import DailyCrawler
 from repro.collection.geocode import Geocoder
 from repro.collection.records import UpdateList as UpdateListType
@@ -86,6 +93,19 @@ class SystemConfig:
     #: Populated-cell fraction above which a sparse cube densifies.
     sparse_threshold: float = 0.25
     simulation: SimulationConfig = SimulationConfig()
+    #: Partition cubes across this many shards (rendezvous-hashed
+    #: placement, one page store + cache budget per shard) and execute
+    #: queries scatter-gather.  1 (default) keeps the single-process
+    #: engine bit-identical; the differential oracle suite
+    #: (``tests/test_shard_oracle.py``) proves N>1 answers byte-equal.
+    shards: int = 1
+    #: Scatter pool width for sharded execution.  ``None`` sizes the
+    #: pool to ``min(8, shards)`` — right for one query at a time.  A
+    #: serving deployment handling concurrent requests through one
+    #: in-process executor should raise it (subqueries from all
+    #: in-flight queries share this pool, and an undersized pool
+    #: serializes their page reads).
+    scatter_threads: int | None = None
     #: Width of the executor's I/O scheduler pool (phase-1 page reads
     #: are overlapped and single-flighted).  1 disables the scheduler
     #: and restores the serial fetch loop.
@@ -208,31 +228,69 @@ class RasedSystem:
                 metrics=self.metrics,
             )
 
-        self.index = HierarchicalIndex(
-            schema,
-            effective_store,
-            atlas=atlas,
-            epoch=self.epoch,
-            page_version=config.page_version,
-            sparse=config.sparse_cubes,
-            sparse_threshold=config.sparse_threshold,
-        )
+        #: With ``shards > 1``, cubes partition across per-shard stores
+        #: (rendezvous placement) while everything else — warehouse,
+        #: auxiliary indexes, WAL, feed cursor — stays on the primary
+        #: store, which the sharded view routes ``meta/*`` and
+        #: ``warehouse/*`` pages to.
+        self.index: HierarchicalIndex
+        self.shard_stores: list[PageStore] = []
+        if config.shards > 1:
+            if config.durable_ingest:
+                raise ConfigError(
+                    "durable_ingest with shards > 1 is not supported yet: "
+                    "the WAL journals one store, not a shard set"
+                )
+            self.shard_stores = shard_stores_for(store, config.shards)
+            self.index = ShardedIndex(
+                schema,
+                self.shard_stores,
+                meta_store=effective_store,
+                atlas=atlas,
+                epoch=self.epoch,
+                page_version=config.page_version,
+                sparse=config.sparse_cubes,
+                sparse_threshold=config.sparse_threshold,
+            )
+        else:
+            self.index = HierarchicalIndex(
+                schema,
+                effective_store,
+                atlas=atlas,
+                epoch=self.epoch,
+                page_version=config.page_version,
+                sparse=config.sparse_cubes,
+                sparse_threshold=config.sparse_threshold,
+            )
         self.warehouse = Warehouse(effective_store, metrics=self.metrics)
         self.hash_index = HashIndex(effective_store)
         self.spatial_index = GridSpatialIndex(effective_store)
-        self.cache = CacheManager(
-            self.index,
-            slots=config.cache_slots,
-            ratios=config.cache_ratios,
-            metrics=self.metrics,
-            byte_budget=config.cache_bytes,
-        )
+        self.cache: CacheManager
+        if isinstance(self.index, ShardedIndex):
+            self.cache = ShardedCacheManager(
+                self.index,
+                slots=config.cache_slots,
+                ratios=config.cache_ratios,
+                metrics=self.metrics,
+                byte_budget=config.cache_bytes,
+            )
+        else:
+            self.cache = CacheManager(
+                self.index,
+                slots=config.cache_slots,
+                ratios=config.cache_ratios,
+                metrics=self.metrics,
+                byte_budget=config.cache_bytes,
+            )
         self.network_sizes = NetworkSizeRegistry(
             atlas, self.simulator.road_network_sizes()
         )
+        #: The scatter pool replaces the I/O scheduler when sharded:
+        #: cross-shard overlap comes from concurrent subqueries, not
+        #: from overlapping one shard's reads.
         self.iosched = (
             IOScheduler(max_workers=config.fetch_parallelism, metrics=self.metrics)
-            if config.fetch_parallelism > 1
+            if config.fetch_parallelism > 1 and config.shards <= 1
             else None
         )
         self.result_cache = (
@@ -240,16 +298,30 @@ class RasedSystem:
             if config.result_cache_slots > 0
             else None
         )
-        self.executor = QueryExecutor(
-            self.index,
-            cache=self.cache,
-            optimizer=LevelOptimizer(self.index, metrics=self.metrics),
-            network_sizes=self.network_sizes,
-            metrics=self.metrics,
-            iosched=self.iosched,
-            result_cache=self.result_cache,
-            tracer=self.tracer,
-        )
+        self.executor: QueryExecutor
+        if isinstance(self.index, ShardedIndex):
+            assert isinstance(self.cache, ShardedCacheManager)
+            self.executor = ScatterGatherExecutor(
+                self.index,
+                cache=self.cache,
+                optimizer=LevelOptimizer(self.index, metrics=self.metrics),
+                network_sizes=self.network_sizes,
+                metrics=self.metrics,
+                result_cache=self.result_cache,
+                tracer=self.tracer,
+                max_workers=config.scatter_threads,
+            )
+        else:
+            self.executor = QueryExecutor(
+                self.index,
+                cache=self.cache,
+                optimizer=LevelOptimizer(self.index, metrics=self.metrics),
+                network_sizes=self.network_sizes,
+                metrics=self.metrics,
+                iosched=self.iosched,
+                result_cache=self.result_cache,
+                tracer=self.tracer,
+            )
         self.pipeline = IngestionPipeline(
             daily_crawler=DailyCrawler(
                 self.crawl_feed, self.changeset_store, self.geocoder

@@ -79,6 +79,7 @@ __all__ = [
     "FaultyReplicationFeed",
     "InjectedFault",
     "classify_page_op",
+    "shard_fault_hook",
 ]
 
 
@@ -120,6 +121,7 @@ INJECTION_POINTS = (
     "feed.state",
     "feed.fetch",
     "feed.publish",
+    "shard.query",
 )
 
 _ROLLUP_HEADS = ("W", "M", "Y")
@@ -379,6 +381,33 @@ class FaultyPageStore(PageStoreProxy):
         if spec.kind == "crash" and spec.when == "after":
             self.inner.delete(page_id)
         plan.raise_for(spec, "delete", page_id)
+
+
+def shard_fault_hook(plan: FaultPlan) -> Callable[[int, PageStore], None]:
+    """A :class:`ScatterGatherExecutor` ``fault_hook`` executing a plan.
+
+    The ``shard.query`` injection point fires at each shard subquery's
+    entry with the target string ``shard/<id>``, so ``page_prefix``
+    selects one shard exactly the way it selects a page family:
+    ``FaultSpec(point="shard.query", kind="error", page_prefix=
+    "shard/1", count=10**9)`` is "shard 1 is down", and
+    ``kind="delay"`` is a slow shard (the delay lands on that shard's
+    virtual disk clock).  ``crash`` raises :class:`CrashPoint` — which
+    the gather loop must *not* degrade around (it is a
+    ``BaseException``), mirroring the store-level crash contract.
+    """
+
+    def hook(shard: int, store: PageStore) -> None:
+        target = f"shard/{shard}"
+        spec = plan.match("query", target, ("shard.query",))
+        if spec is None:
+            return
+        if spec.kind == "delay":
+            plan.do_delay(spec, store)
+            return
+        plan.raise_for(spec, "query", target)
+
+    return hook
 
 
 class FaultyReplicationFeed:

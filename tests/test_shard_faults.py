@@ -1,0 +1,339 @@
+"""Shard failure semantics: degrade honestly, never answer wrong.
+
+The contract mirrors PR 4's quarantine semantics one level up: a
+shard that dies mid-query drops its cubes from the answer and flags
+``partial=true`` — every returned total is a lower bound over the
+surviving shards, never a silently wrong number.  A simulated *crash*
+(:class:`CrashPoint`, a ``BaseException``) must instead propagate:
+degradation is for component failures, not for the process-kill
+simulation.  And because placement is consistent, restarting one
+shard re-warms one shard's cache — the others never go cold.
+
+Injection rides the PR 4 harness: ``shard.query`` is a first-class
+injection point, targeted as ``shard/<id>`` so ``page_prefix``
+selects a shard the way it selects a page family, and
+:func:`repro.testing.faults.shard_fault_hook` adapts a
+:class:`FaultPlan` to the executor's ``fault_hook`` seam.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, timedelta
+
+import pytest
+
+from repro.core.cache import CacheManager
+from repro.core.dimensions import default_schema
+from repro.core.executor import QueryExecutor
+from repro.core.hierarchy import HierarchicalIndex
+from repro.core.optimizer import LevelOptimizer
+from repro.core.query import AnalysisQuery
+from repro.core.resultcache import EpochCounter, ResultCache
+from repro.core.shard import (
+    ScatterGatherExecutor,
+    ShardedCacheManager,
+    ShardedIndex,
+    shard_stores_for,
+)
+from repro.storage.disk import InMemoryDisk
+from repro.synth.scale import scaled_day_updates
+from repro.testing.faults import (
+    CrashPoint,
+    FaultPlan,
+    FaultSpec,
+    shard_fault_hook,
+)
+
+COUNTRIES = ("united_states", "india", "germany", "brazil", "qatar")
+START = date(2021, 1, 1)
+END = date(2021, 3, 31)
+SHARDS = 4
+
+
+def _updates(schema):
+    rng = random.Random(17)
+    updates = {}
+    day = START
+    while day <= END:
+        updates[day] = scaled_day_updates(day, rng, schema, 6)
+        day += timedelta(days=1)
+    return updates
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return default_schema(COUNTRIES, road_types=5)
+
+
+@pytest.fixture(scope="module")
+def oracle(schema):
+    index = HierarchicalIndex(
+        schema, InMemoryDisk(read_latency=0.0, write_latency=0.0)
+    )
+    index.bulk_load(_updates(schema))
+    cache = CacheManager(index, slots=16)
+    cache.preload()
+    return QueryExecutor(index, cache=cache, optimizer=LevelOptimizer(index))
+
+
+def _build_engine(schema, fault_hook=None, slots=16, result_cache=None,
+                  read_latency=0.0):
+    stores = shard_stores_for(
+        InMemoryDisk(read_latency=read_latency, write_latency=0.0), SHARDS
+    )
+    index = ShardedIndex(schema, stores)
+    index.bulk_load(_updates(schema))
+    cache = ShardedCacheManager(index, slots=slots) if slots else None
+    if cache is not None:
+        cache.preload()
+    return ScatterGatherExecutor(
+        index,
+        cache=cache,
+        optimizer=LevelOptimizer(index),
+        result_cache=result_cache,
+        fault_hook=fault_hook,
+    )
+
+
+QUERY = AnalysisQuery(
+    start=date(2021, 2, 1), end=date(2021, 3, 15), group_by=("country",)
+)
+
+
+def _touched_shards(engine, query):
+    plan = engine.plan(query)
+    return {engine.sharded_index.shard_for(key) for key in plan.keys}
+
+
+def test_dead_shard_yields_partial_lower_bound(schema, oracle):
+    """Kill one planned shard: partial=true, every total a lower bound."""
+    engine = _build_engine(schema)
+    try:
+        victim = sorted(_touched_shards(engine, QUERY))[0]
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    point="shard.query",
+                    kind="error",
+                    page_prefix=f"shard/{victim}",
+                    count=10**9,
+                )
+            ]
+        )
+        engine.fault_hook = shard_fault_hook(plan)
+        truth = oracle.execute(QUERY)
+        degraded = engine.execute(QUERY)
+        assert degraded.stats.partial is True
+        assert degraded.stats.quarantined_cubes >= 1
+        assert plan.fired, "the injected shard fault never fired"
+        # Never a wrong total: every surviving row is <= the truth, and
+        # no row appears that the truth does not have.
+        for key, value in degraded.rows.items():
+            assert key in truth.rows
+            assert value <= truth.rows[key], (key, value, truth.rows[key])
+        assert degraded.rows != truth.rows or len(degraded.rows) < len(
+            truth.rows
+        )
+    finally:
+        engine.shutdown()
+
+
+def test_dead_shard_in_series_fanout_yields_partial(schema, oracle):
+    """Kill a shard under the batched series fan-out: same contract.
+
+    A daily series crosses the pool as ONE fan-out carrying every
+    period's keys, with its own gather loop — so the dead-shard
+    degradation (partial=true, lower-bound rows, never a wrong total)
+    needs pinning separately from the single-window path.
+    """
+    series = AnalysisQuery(
+        start=date(2021, 2, 1), end=date(2021, 3, 15), group_by=("date",)
+    )
+    engine = _build_engine(schema)
+    try:
+        victim = sorted(_touched_shards(engine, series))[0]
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    point="shard.query",
+                    kind="error",
+                    page_prefix=f"shard/{victim}",
+                    count=10**9,
+                )
+            ]
+        )
+        engine.fault_hook = shard_fault_hook(plan)
+        truth = oracle.execute(series)
+        degraded = engine.execute(series)
+        assert degraded.stats.partial is True
+        assert degraded.stats.quarantined_cubes >= 1
+        assert plan.fired, "the injected shard fault never fired"
+        for key, value in degraded.rows.items():
+            assert key in truth.rows
+            assert value <= truth.rows[key], (key, value, truth.rows[key])
+        assert degraded.rows != truth.rows or len(degraded.rows) < len(
+            truth.rows
+        )
+    finally:
+        engine.shutdown()
+
+
+def test_all_shards_dead_yields_empty_partial(schema):
+    plan = FaultPlan.single(
+        "shard.query", kind="error", page_prefix="shard/", count=10**9
+    )
+    engine = _build_engine(schema, fault_hook=shard_fault_hook(plan))
+    try:
+        result = engine.execute(QUERY)
+        assert result.stats.partial is True
+        assert result.rows == {}
+    finally:
+        engine.shutdown()
+
+
+def test_shard_heals_after_fault_exhausts(schema, oracle):
+    """count=1: exactly one degraded answer, then exact answers again."""
+    engine = _build_engine(schema)
+    try:
+        victim = sorted(_touched_shards(engine, QUERY))[0]
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    point="shard.query",
+                    kind="error",
+                    page_prefix=f"shard/{victim}",
+                    count=1,
+                )
+            ]
+        )
+        engine.fault_hook = shard_fault_hook(plan)
+        truth = oracle.execute(QUERY)
+        first = engine.execute(QUERY)
+        assert first.stats.partial is True
+        second = engine.execute(QUERY)
+        assert second.stats.partial is False
+        assert second.rows == truth.rows
+    finally:
+        engine.shutdown()
+
+
+def test_partial_answers_are_never_memoized(schema, oracle):
+    """A degraded answer must not be served from the result cache."""
+    engine = _build_engine(
+        schema, result_cache=ResultCache(8, EpochCounter())
+    )
+    try:
+        victim = sorted(_touched_shards(engine, QUERY))[0]
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    point="shard.query",
+                    kind="error",
+                    page_prefix=f"shard/{victim}",
+                    count=1,
+                )
+            ]
+        )
+        engine.fault_hook = shard_fault_hook(plan)
+        degraded = engine.execute(QUERY)
+        assert degraded.stats.partial is True
+        healed = engine.execute(QUERY)
+        assert healed.stats.partial is False
+        assert healed.rows == oracle.execute(QUERY).rows
+        # Now that a full answer is memoized, it IS served from cache.
+        memoized = engine.execute(QUERY)
+        assert memoized.rows == healed.rows
+    finally:
+        engine.shutdown()
+
+
+def test_crash_point_propagates(schema):
+    """A simulated process kill is not a degradable component failure."""
+    plan = FaultPlan.single(
+        "shard.query", kind="crash", page_prefix="shard/", count=1
+    )
+    engine = _build_engine(schema, fault_hook=shard_fault_hook(plan))
+    try:
+        with pytest.raises(CrashPoint):
+            engine.execute(QUERY)
+    finally:
+        engine.shutdown()
+
+
+def test_slow_shard_answers_exactly_but_slower(schema, oracle):
+    """A delayed shard changes latency accounting, never the answer."""
+    delay = 0.05
+    plan = FaultPlan(
+        specs=[
+            FaultSpec(
+                point="shard.query",
+                kind="delay",
+                page_prefix="shard/",
+                count=10**9,
+                delay_seconds=delay,
+            )
+        ]
+    )
+    engine = _build_engine(schema, fault_hook=shard_fault_hook(plan))
+    try:
+        truth = oracle.execute(QUERY)
+        slow = engine.execute(QUERY)
+        assert slow.rows == truth.rows
+        assert slow.stats.partial is False
+        # At least one shard's delay landed on the virtual clock.
+        assert slow.stats.simulated_seconds >= delay
+    finally:
+        engine.shutdown()
+
+
+def test_restart_rewarm_only_cools_the_restarted_shard(schema):
+    """Consistent placement: one shard restart = one cold cache."""
+    engine = _build_engine(schema, slots=16, read_latency=0.001)
+    try:
+        cache = engine.cache
+        assert isinstance(cache, ShardedCacheManager)
+        index = engine.sharded_index
+        before_contents = [c.contents() for c in cache.shard_caches]
+        reads_before = [
+            shard.store.stats.reads for shard in index.shards
+        ]
+        victim = 1
+        reloaded = cache.rewarm_shard(victim)
+        assert reloaded == len(before_contents[victim])
+        reads_after = [shard.store.stats.reads for shard in index.shards]
+        for shard_id in range(SHARDS):
+            if shard_id == victim:
+                # The restarted shard re-read its preload set from its
+                # own store.
+                assert reads_after[shard_id] >= (
+                    reads_before[shard_id] + reloaded
+                )
+            else:
+                # Every other shard: cache untouched, store untouched.
+                assert reads_after[shard_id] == reads_before[shard_id]
+                assert cache.shard_caches[shard_id].contents() == (
+                    before_contents[shard_id]
+                )
+        assert cache.shard_caches[victim].contents() == before_contents[victim]
+    finally:
+        engine.shutdown()
+
+
+def test_rewarmed_engine_still_matches_oracle(schema, oracle):
+    engine = _build_engine(schema)
+    try:
+        cache = engine.cache
+        assert isinstance(cache, ShardedCacheManager)
+        cache.rewarm_shard(2)
+        assert engine.execute(QUERY).rows == oracle.execute(QUERY).rows
+    finally:
+        engine.shutdown()
+
+
+def test_injection_point_is_registered():
+    from repro.testing.faults import INJECTION_POINTS
+
+    assert "shard.query" in INJECTION_POINTS
+    # And the spec validator accepts it.
+    FaultSpec(point="shard.query", kind="delay", delay_seconds=0.01)

@@ -1,0 +1,287 @@
+"""Differential oracle suite: sharded answers == single-process answers.
+
+The sharding tentpole's correctness contract is *byte identity*: for
+any analysis query, the scatter-gather engine over N shards must
+return exactly the rows (and exactly the ``partial`` flag) the
+unsharded engine returns — not approximately, not "within float
+noise".  The argument is plan-invariance (any exact cover yields the
+same totals) plus exact int64 addition (grouping partial arrays by
+shard cannot change a sum).  These tests are the empirical check of
+that argument: a seeded sweep of dashboard-mix, single-cell, and
+time-series queries — ranges, zones, filters, groupings — executed
+against both engines at N ∈ {2, 4, 8}, every answer compared
+key-for-key, value-for-value.
+
+Per shard count the sweep runs 70 queries (40 dashboard-mix across
+two window spans, 20 single-cell, 10 daily series), so the whole
+suite executes 210 differential comparisons — plus the live-overlay
+comparisons, which drive two fully assembled deployments (shards=1
+vs shards=4) through the same simulated days and compare
+``analysis_live`` output.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, timedelta
+
+import pytest
+
+from repro.core.cache import CacheManager
+from repro.core.dimensions import default_schema
+from repro.core.executor import QueryExecutor
+from repro.core.hierarchy import HierarchicalIndex
+from repro.core.optimizer import LevelOptimizer
+from repro.core.query import AnalysisQuery
+from repro.core.shard import (
+    ScatterGatherExecutor,
+    ShardedCacheManager,
+    ShardedIndex,
+    shard_stores_for,
+)
+from repro.errors import ConfigError
+from repro.storage.disk import InMemoryDisk
+from repro.synth.scale import scaled_day_updates
+from repro.synth.simulator import SimulationConfig
+from repro.synth.workload import QueryWorkload
+from repro.system import RasedSystem, SystemConfig
+
+COUNTRIES = (
+    "united_states",
+    "india",
+    "germany",
+    "brazil",
+    "france",
+    "vietnam",
+    "qatar",
+    "japan",
+)
+START = date(2021, 1, 1)
+END = date(2021, 5, 31)
+SHARD_COUNTS = (2, 4, 8)
+
+
+def _dataset():
+    schema = default_schema(COUNTRIES, road_types=6)
+    rng = random.Random(29)
+    updates = {}
+    day = START
+    while day <= END:
+        updates[day] = scaled_day_updates(day, rng, schema, 8)
+        day += timedelta(days=1)
+    return schema, updates
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _dataset()
+
+
+@pytest.fixture(scope="module")
+def oracle(corpus):
+    """The unsharded engine every sharded answer is compared against."""
+    schema, updates = corpus
+    index = HierarchicalIndex(
+        schema, InMemoryDisk(read_latency=0.0, write_latency=0.0)
+    )
+    index.bulk_load(updates)
+    cache = CacheManager(index, slots=24)
+    cache.preload()
+    return QueryExecutor(index, cache=cache, optimizer=LevelOptimizer(index))
+
+
+def _sharded_engine(corpus, shards, byte_budget=None, slots=24):
+    schema, updates = corpus
+    stores = shard_stores_for(
+        InMemoryDisk(read_latency=0.0, write_latency=0.0), shards
+    )
+    index = ShardedIndex(schema, stores)
+    index.bulk_load(updates)
+    cache = ShardedCacheManager(
+        index, slots=slots, byte_budget=byte_budget
+    )
+    cache.preload()
+    return ScatterGatherExecutor(
+        index, cache=cache, optimizer=LevelOptimizer(index)
+    )
+
+
+def _sweep(schema):
+    workload = QueryWorkload(
+        schema=schema, coverage_start=START, coverage_end=END, seed=41
+    )
+    queries = []
+    queries += workload.dashboard_mix(span_days=30, count=20)
+    queries += workload.dashboard_mix(span_days=120, count=20)
+    queries += workload.single_cell(span_days=45, count=20)
+    queries += workload.daily_series(span_days=21, count=10)
+    return queries
+
+
+def _assert_identical(oracle_result, sharded_result, query):
+    assert sharded_result.rows == oracle_result.rows, (
+        f"sharded rows diverge for {query}"
+    )
+    assert sharded_result.stats.partial == oracle_result.stats.partial, (
+        f"partial flag diverges for {query}"
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_oracle_sweep_byte_identical(corpus, oracle, shards):
+    """70 seeded queries per shard count, compared answer-for-answer."""
+    schema, _ = corpus
+    engine = _sharded_engine(corpus, shards)
+    try:
+        queries = _sweep(schema)
+        assert len(queries) == 70
+        for query in queries:
+            _assert_identical(oracle.execute(query), engine.execute(query), query)
+    finally:
+        engine.shutdown()
+
+
+def test_total_query_volume_meets_spec(corpus):
+    """The sweep above totals >= 200 differential comparisons."""
+    schema, _ = corpus
+    assert len(_sweep(schema)) * len(SHARD_COUNTS) >= 200
+
+
+def test_oracle_with_byte_budgeted_shard_caches(corpus, oracle):
+    """Byte-budgeted per-shard caches (PR 9 mode) stay byte-identical."""
+    schema, _ = corpus
+    engine = _sharded_engine(corpus, 4, byte_budget=256 * 1024, slots=0)
+    try:
+        sweep = _sweep(schema)
+        # First 25 plus the daily-series tail, so the batched series
+        # fan-out is exercised under byte-budgeted caches too.
+        for query in sweep[:25] + sweep[-10:]:
+            _assert_identical(oracle.execute(query), engine.execute(query), query)
+    finally:
+        engine.shutdown()
+
+
+def test_oracle_without_caches(corpus, oracle):
+    """Cache-free scatter (every read from a shard store) is identical."""
+    schema, updates = corpus
+    stores = shard_stores_for(
+        InMemoryDisk(read_latency=0.0, write_latency=0.0), 4
+    )
+    index = ShardedIndex(schema, stores)
+    index.bulk_load(updates)
+    engine = ScatterGatherExecutor(
+        index, cache=None, optimizer=LevelOptimizer(index)
+    )
+    try:
+        sweep = _sweep(schema)
+        # First 25 plus the daily-series tail, so the batched series
+        # fan-out is exercised with no cache at all.
+        for query in sweep[:25] + sweep[-10:]:
+            _assert_identical(oracle.execute(query), engine.execute(query), query)
+    finally:
+        engine.shutdown()
+
+
+def test_sharded_catalog_matches_oracle(corpus, oracle):
+    """The unioned shard catalogs are exactly the oracle's catalog."""
+    schema, updates = corpus
+    stores = shard_stores_for(
+        InMemoryDisk(read_latency=0.0, write_latency=0.0), 4
+    )
+    index = ShardedIndex(schema, stores)
+    index.bulk_load(updates)
+    oracle_index = oracle.index
+    assert index.total_pages() == oracle_index.total_pages()
+    assert index.coverage() == oracle_index.coverage()
+    for level in oracle_index.levels:
+        assert index.keys(level) == oracle_index.keys(level)
+    assert index.pages_per_level() == oracle_index.pages_per_level()
+    # Placement is total: the shard page counts partition the catalog.
+    assert sum(
+        entry["pages"] for entry in index.shard_status()
+    ) == oracle_index.total_pages()
+
+
+# -- live overlays over two full deployments --------------------------------
+
+
+def _deployment(shards):
+    return RasedSystem.create(
+        config=SystemConfig(
+            road_types=6,
+            cache_slots=16,
+            shards=shards,
+            simulation=SimulationConfig(
+                seed=7,
+                mapper_count=8,
+                base_sessions_per_day=3,
+                nodes_per_country=5,
+            ),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def paired_live_systems():
+    """shards=1 and shards=4 deployments fed identical simulated days."""
+    systems = []
+    for shards in (1, 4):
+        system = _deployment(shards)
+        system.simulate_and_ingest(date(2021, 3, 1), date(2021, 3, 14))
+        # "Today": hourly diffs only, visible to the live monitor alone.
+        system.publish_partial_day(date(2021, 3, 15), through_hour=13)
+        system.poll_live()
+        system.warm_cache()
+        systems.append(system)
+    return systems
+
+
+def test_live_overlay_byte_identical(paired_live_systems):
+    base, sharded = paired_live_systems
+    assert isinstance(sharded.executor, ScatterGatherExecutor)
+    for group_by in (("country",), ("date",), ("country", "element_type")):
+        query = AnalysisQuery(
+            start=date(2021, 3, 10), end=date(2021, 3, 15), group_by=group_by
+        )
+        a = base.dashboard.analysis_live(query)
+        b = sharded.dashboard.analysis_live(query)
+        assert a.rows == b.rows
+        assert a.stats.partial == b.stats.partial
+        # The overlay day contributed: drop it and the answers change.
+        settled = AnalysisQuery(
+            start=date(2021, 3, 10), end=date(2021, 3, 14), group_by=group_by
+        )
+        assert base.dashboard.analysis_live(settled).rows == (
+            sharded.dashboard.analysis_live(settled).rows
+        )
+
+
+def test_ingested_history_identical_across_shard_counts(paired_live_systems):
+    base, sharded = paired_live_systems
+    query = AnalysisQuery(
+        start=date(2021, 3, 1),
+        end=date(2021, 3, 14),
+        group_by=("country", "update_type"),
+    )
+    assert base.dashboard.analysis(query).rows == (
+        sharded.dashboard.analysis(query).rows
+    )
+
+
+# -- configuration contract --------------------------------------------------
+
+
+def test_sharding_off_by_default():
+    system = RasedSystem.create(
+        config=SystemConfig(road_types=6, cache_slots=4)
+    )
+    assert not isinstance(system.executor, ScatterGatherExecutor)
+    assert not isinstance(system.index, ShardedIndex)
+    assert system.shard_stores == []
+
+
+def test_sharding_rejects_durable_ingest():
+    with pytest.raises(ConfigError):
+        RasedSystem.create(
+            config=SystemConfig(road_types=6, shards=2, durable_ingest=True)
+        )
